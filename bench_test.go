@@ -1,0 +1,499 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (macro benchmarks, one simulated experiment per iteration — with the
+// default -benchtime they run once and print the paper-comparable series),
+// plus micro benchmarks for the substrate hot paths.
+//
+//	go test -bench=. -benchmem                    # everything (paper scale; ~20-40 min)
+//	go test -bench=BenchmarkFig5to7 -benchmem     # one experiment
+//	go test -bench=Micro -benchmem                # substrate micro benchmarks only
+package repro_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/cemfmt"
+	"repro/internal/ckpt"
+	"repro/internal/data"
+	"repro/internal/exp"
+	"repro/internal/gpfs"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/nekcem"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/xrand"
+)
+
+// printOnce keeps re-runs of a benchmark from spamming the tables.
+var printOnce sync.Map
+
+func report(b *testing.B, key, table string) {
+	b.Helper()
+	if _, done := printOnce.LoadOrStore(key, true); !done {
+		fmt.Printf("\n== %s ==\n%s\n", key, table)
+	}
+}
+
+func opts() exp.Options { return exp.Options{Seed: 1} }
+
+// BenchmarkFig5to7Headline regenerates Figures 5 (write bandwidth), 6
+// (checkpoint step time) and 7 (checkpoint/compute ratio): the five I/O
+// approaches at 16K/32K/64K ranks, paper scale.
+func BenchmarkFig5to7Headline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Headline(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Figure 5: write bandwidth (GB/s)", exp.Fig5Table(rows))
+		report(b, "Figure 6: overall time per checkpoint step (s)", exp.Fig6Table(rows))
+		report(b, "Figure 7: checkpoint/computation time ratio", exp.Fig7Table(rows))
+		// Headline metric: rbIO nf=ng bandwidth at 64K (paper: >13 GB/s).
+		b.ReportMetric(rows[len(rows)-1].GBps, "rbIO-64K-GB/s")
+	}
+}
+
+// BenchmarkFig8FileCountSweep regenerates Figure 8: rbIO (nf = ng)
+// bandwidth against the number of files at each scale; the paper's optimum
+// is nf = 1024.
+func BenchmarkFig8FileCountSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig8(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Figure 8: rbIO bandwidth vs number of files", exp.Fig8Table(rows))
+		best := rows[0]
+		for _, r := range rows {
+			if r.NP == 65536 && r.GBps > best.GBps {
+				best = r
+			}
+		}
+		b.ReportMetric(float64(best.NF), "best-nf-at-64K")
+	}
+}
+
+// BenchmarkFig9Distribution1PFPP regenerates Figure 9: the per-rank I/O
+// time scatter of 1PFPP at 16,384 ranks (metadata-queue variance).
+func BenchmarkFig9Distribution1PFPP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := exp.Fig9(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Figure 9: I/O time distribution, 1PFPP @16K", d.Table())
+		b.ReportMetric(d.Max, "max-rank-s")
+		b.ReportMetric(d.Spread, "max/median")
+	}
+}
+
+// BenchmarkFig10DistributionCoIO regenerates Figure 10: coIO 64:1 at
+// 65,536 ranks — synchronized around the median with heavy-tail outliers.
+func BenchmarkFig10DistributionCoIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := exp.Fig10(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Figure 10: I/O time distribution, coIO 64:1 @64K", d.Table())
+		b.ReportMetric(d.Median, "median-s")
+		b.ReportMetric(d.Max, "max-rank-s")
+	}
+}
+
+// BenchmarkFig11DistributionRbIO regenerates Figure 11: rbIO at 65,536
+// ranks — the two bands (workers near zero, writers flat).
+func BenchmarkFig11DistributionRbIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := exp.Fig11(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Figure 11: I/O time distribution, rbIO @64K", d.Table())
+		workers := d.ByRole[ckpt.RoleWorker]
+		writers := d.ByRole[ckpt.RoleWriter]
+		if len(workers) > 0 && len(writers) > 0 {
+			b.ReportMetric(workers[len(workers)/2]*1e6, "worker-median-us")
+			b.ReportMetric(writers[len(writers)/2], "writer-median-s")
+		}
+	}
+}
+
+// BenchmarkFig12WriteActivity regenerates Figure 12: the Darshan-style
+// write-activity timelines of rbIO versus coIO at 32K ranks.
+func BenchmarkFig12WriteActivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig12(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Figure 12: write activity, rbIO vs coIO @32K", exp.Fig12Table(rows))
+	}
+}
+
+// BenchmarkTableIPerceivedBandwidth regenerates Table I: rbIO's perceived
+// write performance (CPU cycles per worker send; TB/s aggregate).
+func BenchmarkTableIPerceivedBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.TableI(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Table I: perceived write performance (rbIO)", exp.TableITable(rows))
+		b.ReportMetric(rows[len(rows)-1].PerceivedTBps, "perceived-64K-TB/s")
+	}
+}
+
+// BenchmarkEq1ProductionImprovement regenerates the paper's Equation (1)
+// estimate (~25x production improvement of rbIO over 1PFPP at nc=20) plus
+// the directly measured end-to-end improvement.
+func BenchmarkEq1ProductionImprovement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Eq1(opts(), 16384, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Equation 1: production improvement @16K, nc=20", res.Table())
+		b.ReportMetric(res.Formula, "Eq1-improvement-x")
+	}
+}
+
+// BenchmarkEq7Speedup regenerates the Section V-C2 blocked-time analysis:
+// measured total blocked processor-time ratio versus Equation (7).
+func BenchmarkEq7Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Speedup(opts(), 16384)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Equations 2-7: rbIO/coIO blocked-time speedup @16K", res.Table())
+		b.ReportMetric(res.Measured, "measured-x")
+		b.ReportMetric(res.Analytic, "Eq7-x")
+	}
+}
+
+// BenchmarkMeshRead regenerates the Section III-B presetup measurements:
+// 7.5 s for E=136K on 32K ranks and 28 s for E=546K on 131K ranks.
+func BenchmarkMeshRead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.MeshRead(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Section III-B: global mesh read (presetup)", exp.MeshReadTable(rows))
+		b.ReportMetric(rows[0].Seconds, "E136K-32K-s")
+	}
+}
+
+// Ablation benchmarks: the design choices DESIGN.md calls out.
+
+func BenchmarkAblationAlignment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblateAlignment(opts(), 16384)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Ablation: file-domain alignment (coIO nf=1 @16K)", exp.AblationTable(rows))
+	}
+}
+
+func BenchmarkAblationWriterBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblateWriterBuffer(opts(), 16384)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Ablation: rbIO writer field-buffering @16K", exp.AblationTable(rows))
+	}
+}
+
+func BenchmarkAblationAggRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblateGroupRatio(opts(), 16384)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Ablation: rbIO np:ng ratio @16K", exp.AblationTable(rows))
+	}
+}
+
+func BenchmarkAblationIONCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblateIONCache(opts(), 16384)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Ablation: ION write-behind cache (rbIO @16K)", exp.AblationTable(rows))
+	}
+}
+
+func BenchmarkAblationNoise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblateNoise(opts(), 65536)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Ablation: shared-storage noise (coIO 64:1 @64K)", exp.AblationTable(rows))
+	}
+}
+
+// BenchmarkExtensionFSComparison runs the GPFS-versus-PVFS comparison the
+// paper discusses but could not publish (Section V-C1), at 16K ranks.
+func BenchmarkExtensionFSComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.FSComparison(opts(), 16384)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Extension: GPFS vs PVFS @16K", exp.FSComparisonTable(rows))
+	}
+}
+
+// BenchmarkExtensionPriorWorkBGL reproduces the prior-work numbers the
+// paper cites (reference [3]): rbIO on a 32K Blue Gene/L reached 2.3 GB/s
+// raw and 21 TB/s perceived bandwidth.
+func BenchmarkExtensionPriorWorkBGL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.PriorWorkBGL(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Extension: prior work [3], rbIO on BG/L @32K", exp.PriorWorkTable(rows))
+		b.ReportMetric(rows[0].GBps, "BGL-GB/s")
+		b.ReportMetric(rows[0].PerceivedTBps, "BGL-perceived-TB/s")
+	}
+}
+
+// BenchmarkExtensionRestart measures each strategy's restart (read-side)
+// performance at 16K ranks.
+func BenchmarkExtensionRestart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.RestartStudy(opts(), 16384)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Extension: restart performance @16K", exp.RestartTable(rows))
+	}
+}
+
+func BenchmarkAblationBlockSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblateBlockSize(opts(), 16384)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Ablation: GPFS block size (rbIO @16K)", exp.AblationTable(rows))
+	}
+}
+
+// BenchmarkExtensionMultiLevel measures the SCR-style multi-level
+// checkpointing extension against plain rbIO at 16K ranks.
+func BenchmarkExtensionMultiLevel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.MultiLevelStudy(opts(), 16384)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Extension: multi-level checkpointing @16K", exp.MultiLevelTable(rows))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro benchmarks: substrate hot paths.
+
+// BenchmarkMicroKernelEvents measures raw event throughput of the DES
+// kernel.
+func BenchmarkMicroKernelEvents(b *testing.B) {
+	k := sim.NewKernel()
+	var fire func(depth int)
+	n := 0
+	fire = func(depth int) {
+		n++
+		if n < b.N {
+			k.After(1e-6, func() { fire(depth + 1) })
+		}
+	}
+	b.ResetTimer()
+	k.After(0, func() { fire(0) })
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMicroProcSwitch measures the strict-handoff context switch.
+func BenchmarkMicroProcSwitch(b *testing.B) {
+	k := sim.NewKernel()
+	k.Go("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1e-9)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMicroTorusRoute measures dimension-ordered route computation on
+// the 64K-rank partition's torus.
+func BenchmarkMicroTorusRoute(b *testing.B) {
+	t := topo.Dims(16384)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.Route(i%t.Nodes(), (i*2654435761)%t.Nodes())
+	}
+}
+
+// BenchmarkMicroTorusTransfer measures the contention-tracked transfer
+// arithmetic.
+func BenchmarkMicroTorusTransfer(b *testing.B) {
+	m := bgp.MustNew(sim.NewKernel(), xrand.New(1), bgp.Intrepid(4096))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Torus.Transfer(float64(i), i%1024, (i*31)%1024, 1<<20)
+	}
+}
+
+// BenchmarkMicroP2P measures an MPI send/recv pair end to end through the
+// simulator.
+func BenchmarkMicroP2P(b *testing.B) {
+	k := sim.NewKernel()
+	m := bgp.MustNew(k, xrand.New(1), bgp.Intrepid(64))
+	w := mpi.NewWorld(m, mpi.DefaultConfig())
+	b.ResetTimer()
+	err := w.Run(func(c *mpi.Comm, r *mpi.Rank) {
+		switch r.ID() {
+		case 0:
+			for i := 0; i < b.N; i++ {
+				c.Send(r, 1, 1, data.Synthetic(4096))
+			}
+		case 1:
+			for i := 0; i < b.N; i++ {
+				c.Recv(r, 0, 1)
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMicroAllgather measures a 256-rank allgather through the
+// binomial gather + broadcast path.
+func BenchmarkMicroAllgather(b *testing.B) {
+	k := sim.NewKernel()
+	m := bgp.MustNew(k, xrand.New(1), bgp.Intrepid(256))
+	w := mpi.NewWorld(m, mpi.DefaultConfig())
+	b.ResetTimer()
+	err := w.Run(func(c *mpi.Comm, r *mpi.Rank) {
+		for i := 0; i < b.N; i++ {
+			c.AllgatherInt64(r, int64(r.ID()))
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMicroGPFSWrite measures the full storage path (funnel, tokens,
+// stream, Ethernet, striped commit) for a 4 MiB write.
+func BenchmarkMicroGPFSWrite(b *testing.B) {
+	k := sim.NewKernel()
+	m := bgp.MustNew(k, xrand.New(1), bgp.Intrepid(256))
+	fs := gpfs.MustNew(m, gpfs.DefaultConfig())
+	k.Go("w", func(p *sim.Proc) {
+		h, err := fs.Create(p, 0, "bench")
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			if err := h.WriteAt(p, 0, int64(i)*4<<20, data.Synthetic(4<<20)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(4 << 20)
+}
+
+// BenchmarkMicroHeaderMarshal measures checkpoint header encode+decode for
+// a 1024-chunk file.
+func BenchmarkMicroHeaderMarshal(b *testing.B) {
+	h := &cemfmt.Header{App: "NekCEM", Step: 7, Fields: nekcem.FieldNames}
+	for i := 0; i < 1024; i++ {
+		h.ChunkBytes = append(h.ChunkBytes, 1<<20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := h.Marshal()
+		if _, err := cemfmt.Unmarshal(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroSEDGAdvance measures the real spectral-element kernel: one
+// RK step of 4 order-7 elements.
+func BenchmarkMicroSEDGAdvance(b *testing.B) {
+	st := nekcem.NewState(nekcem.Mesh{E: 4, N: 7}, 0, 1)
+	st.InitWaveguide()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Advance(1e-4)
+	}
+}
+
+// BenchmarkMicroCheckpointStep measures one full coordinated rbIO
+// checkpoint at 1024 ranks (simulation throughput, not simulated time).
+func BenchmarkMicroCheckpointStep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		m := bgp.MustNew(k, xrand.New(1), bgp.Intrepid(1024))
+		fs := gpfs.MustNew(m, gpfs.DefaultConfig())
+		w := mpi.NewWorld(m, mpi.DefaultConfig())
+		_, err := nekcem.Run(w, fs, nekcem.RunConfig{
+			Mesh: nekcem.PaperMesh(1024), Strategy: ckpt.DefaultRbIO(), Dir: "ckpt",
+			Steps: 1, CheckpointEvery: 1, Synthetic: true, SkipPresetup: true,
+			PayloadFactor: nekcem.PaperPayloadFactor, Compute: nekcem.DefaultComputeModel(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroCollectiveWrite measures a 256-rank MPI-IO collective write
+// through the two-phase machinery.
+func BenchmarkMicroCollectiveWrite(b *testing.B) {
+	k := sim.NewKernel()
+	m := bgp.MustNew(k, xrand.New(1), bgp.Intrepid(256))
+	fs := gpfs.MustNew(m, gpfs.DefaultConfig())
+	w := mpi.NewWorld(m, mpi.DefaultConfig())
+	b.ResetTimer()
+	err := w.Run(func(c *mpi.Comm, r *mpi.Rank) {
+		f, err := mpiio.Open(c, r, fs, "cw", true, mpiio.DefaultHints())
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			base := int64(i) * 256 * 65536
+			if err := f.WriteAtAll(r, base+int64(c.Rank(r))*65536, data.Synthetic(65536)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		f.Close(r)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Command iobench regenerates the paper's evaluation: every figure and
+// table of "Parallel I/O Performance for Application-Level Checkpointing on
+// the Blue Gene/P System" (CLUSTER 2011), run against the simulated
+// Intrepid machine.
+//
+// Usage:
+//
+//	iobench                  # everything at paper scale (slow: ~30-60 min)
+//	iobench -exp fig5        # one experiment (fig5..fig12, table1, eq1, eq7, meshread, ablations)
+//	iobench -np 4096         # scaled-down sweep for a quick look
+//	iobench -quiet           # disable the shared-storage noise model
+//	iobench -seed 7          # different reproducible noise sample
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("exp", "all", "experiment to run: all, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, eq1, eq7, meshread, fscompare, priorwork, restart, multilevel, ablations")
+		np    = flag.Int("np", 0, "override the processor sweep with a single count (0 = paper scale 16K/32K/64K)")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+		quiet = flag.Bool("quiet", false, "disable the shared-storage noise model")
+	)
+	flag.Parse()
+
+	o := exp.Options{Seed: *seed, Quiet: *quiet}
+	if *np > 0 {
+		o.NPs = []int{*np}
+	}
+
+	run := func(name string, fn func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		t0 := time.Now()
+		fmt.Printf("== %s ==\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s wall)\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+
+	// Figures 5-7 share the headline runs.
+	var headline []exp.HeadlineRow
+	needHeadline := *which == "all" || *which == "fig5" || *which == "fig6" || *which == "fig7"
+	if needHeadline {
+		run("headline (figs 5-7)", func() error {
+			var err error
+			headline, err = exp.Headline(o)
+			return err
+		})
+	}
+	if headline != nil {
+		if *which == "all" || *which == "fig5" {
+			fmt.Println("== Figure 5: write bandwidth ==")
+			fmt.Println(exp.Fig5Table(headline))
+		}
+		if *which == "all" || *which == "fig6" {
+			fmt.Println("== Figure 6: overall time per checkpoint step ==")
+			fmt.Println(exp.Fig6Table(headline))
+		}
+		if *which == "all" || *which == "fig7" {
+			fmt.Println("== Figure 7: checkpoint/computation ratio ==")
+			fmt.Println(exp.Fig7Table(headline))
+		}
+	}
+
+	run("fig8", func() error {
+		rows, err := exp.Fig8(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 8: rbIO bandwidth vs number of files ==")
+		fmt.Println(exp.Fig8Table(rows))
+		return nil
+	})
+
+	run("fig9", func() error {
+		d, err := exp.Fig9(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 9: per-rank I/O time distribution, 1PFPP ==")
+		fmt.Println(d.Table())
+		fmt.Println(d.Plot())
+		return nil
+	})
+	run("fig10", func() error {
+		d, err := exp.Fig10(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 10: per-rank I/O time distribution, coIO 64:1 ==")
+		fmt.Println(d.Table())
+		fmt.Println(d.Plot())
+		return nil
+	})
+	run("fig11", func() error {
+		d, err := exp.Fig11(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 11: per-rank I/O time distribution, rbIO ==")
+		fmt.Println(d.Table())
+		fmt.Println(d.Plot())
+		return nil
+	})
+	run("fig12", func() error {
+		rows, err := exp.Fig12(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 12: write activity, rbIO vs coIO ==")
+		fmt.Println(exp.Fig12Table(rows))
+		return nil
+	})
+
+	run("table1", func() error {
+		rows, err := exp.TableI(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table I: perceived write performance (rbIO) ==")
+		fmt.Println(exp.TableITable(rows))
+		return nil
+	})
+
+	run("eq1", func() error {
+		np16 := 16384
+		if len(o.NPs) == 1 {
+			np16 = o.NPs[0]
+		}
+		res, err := exp.Eq1(o, np16, 20)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Equation 1: production improvement, rbIO over 1PFPP ==")
+		fmt.Println(res.Table())
+		return nil
+	})
+
+	run("eq7", func() error {
+		np16 := 16384
+		if len(o.NPs) == 1 {
+			np16 = o.NPs[0]
+		}
+		res, err := exp.Speedup(o, np16)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Equations 2-7: blocked-time speedup, rbIO over coIO ==")
+		fmt.Println(res.Table())
+		return nil
+	})
+
+	run("meshread", func() error {
+		cases := []exp.MeshReadRow{}
+		if len(o.NPs) == 1 {
+			cases = append(cases,
+				exp.MeshReadRow{E: 136 * 1024, NP: o.NPs[0]},
+				exp.MeshReadRow{E: 546 * 1024, NP: o.NPs[0]})
+		}
+		rows, err := exp.MeshRead(o, cases...)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Section III-B: global mesh read (presetup) ==")
+		fmt.Println(exp.MeshReadTable(rows))
+		return nil
+	})
+
+	run("fscompare", func() error {
+		np16 := 16384
+		if len(o.NPs) == 1 {
+			np16 = o.NPs[0]
+		}
+		rows, err := exp.FSComparison(o, np16)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Extension: GPFS vs PVFS (Section V-C1's unpublished comparison) ==")
+		fmt.Println(exp.FSComparisonTable(rows))
+		return nil
+	})
+
+	run("priorwork", func() error {
+		rows, err := exp.PriorWorkBGL(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Extension: prior work [3] — rbIO on 32K Blue Gene/L ==")
+		fmt.Println(exp.PriorWorkTable(rows))
+		return nil
+	})
+
+	run("restart", func() error {
+		np16 := 16384
+		if len(o.NPs) == 1 {
+			np16 = o.NPs[0]
+		}
+		rows, err := exp.RestartStudy(o, np16)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Extension: restart (read-side) performance ==")
+		fmt.Println(exp.RestartTable(rows))
+		return nil
+	})
+
+	run("multilevel", func() error {
+		np16 := 16384
+		if len(o.NPs) == 1 {
+			np16 = o.NPs[0]
+		}
+		rows, err := exp.MultiLevelStudy(o, np16)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Extension: SCR-style multi-level checkpointing ==")
+		fmt.Println(exp.MultiLevelTable(rows))
+		return nil
+	})
+
+	run("ablations", func() error {
+		np16, np64 := 16384, 65536
+		if len(o.NPs) == 1 {
+			np16, np64 = o.NPs[0], o.NPs[0]
+		}
+		var all []exp.AblationRow
+		for _, f := range []func() ([]exp.AblationRow, error){
+			func() ([]exp.AblationRow, error) { return exp.AblateAlignment(o, np16) },
+			func() ([]exp.AblationRow, error) { return exp.AblateWriterBuffer(o, np16) },
+			func() ([]exp.AblationRow, error) { return exp.AblateGroupRatio(o, np16) },
+			func() ([]exp.AblationRow, error) { return exp.AblateIONCache(o, np16) },
+			func() ([]exp.AblationRow, error) { return exp.AblateNoise(o, np64) },
+			func() ([]exp.AblationRow, error) { return exp.AblateBlockSize(o, np16) },
+		} {
+			rows, err := f()
+			if err != nil {
+				return err
+			}
+			all = append(all, rows...)
+		}
+		fmt.Println("== Design-choice ablations ==")
+		fmt.Println(exp.AblationTable(all))
+		return nil
+	})
+
+	if *which != "all" && !ran(*which) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}
+
+// ran reports whether the name is a known experiment (for the error path).
+func ran(name string) bool {
+	known := "all fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table1 eq1 eq7 meshread fscompare priorwork restart multilevel ablations headline (figs 5-7)"
+	return strings.Contains(known, name)
+}

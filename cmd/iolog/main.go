@@ -1,0 +1,80 @@
+// Command iolog analyzes a Darshan-style I/O trace written by cmd/nekcem
+// (-log): aggregate statistics, the per-rank time distribution (Figures
+// 9-11 of the paper) and the write-activity timeline (Figure 12).
+//
+// Usage:
+//
+//	nekcem -np 4096 -strategy rbio -log trace.json
+//	iolog trace.json
+//	iolog -ranks 4096 -dt 0.25 trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/exp"
+	"repro/internal/iolog"
+)
+
+func main() {
+	var (
+		ranks = flag.Int("ranks", 0, "rank count for the distribution (0: infer from the trace)")
+		dt    = flag.Float64("dt", 0.5, "activity timeline bin width in seconds")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: iolog [flags] trace.json")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log, err := iolog.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	s := log.Summarize()
+	fmt.Printf("trace: %d records, %.2f GB written, %.2f GB read, span [%.2f, %.2f] s, write bandwidth %.2f GB/s\n\n",
+		s.Ops, float64(s.BytesWritten)/1e9, float64(s.BytesRead)/1e9, s.FirstStart, s.LastEnd, s.Bandwidth/1e9)
+
+	n := *ranks
+	if n == 0 {
+		for _, rec := range log.Records {
+			if rec.Rank >= n {
+				n = rec.Rank + 1
+			}
+		}
+	}
+
+	times := log.PerRankTime(n)
+	sorted := append([]float64(nil), times...)
+	sort.Float64s(sorted)
+	qs := iolog.Quantiles(times, 0, 0.25, 0.5, 0.75, 0.95, 1)
+	fmt.Println("per-rank I/O time distribution (Figures 9-11 style):")
+	fmt.Println(exp.FormatTable(
+		[]string{"min", "p25", "median", "p75", "p95", "max"},
+		[][]string{{
+			fmt.Sprintf("%.3f", qs[0]), fmt.Sprintf("%.3f", qs[1]),
+			fmt.Sprintf("%.3f", qs[2]), fmt.Sprintf("%.3f", qs[3]),
+			fmt.Sprintf("%.3f", qs[4]), fmt.Sprintf("%.3f", qs[5]),
+		}}))
+
+	fmt.Println("write-activity timeline (Figure 12 style):")
+	rows := [][]string{}
+	for _, bin := range log.Activity(*dt, iolog.OpWrite) {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", bin.T),
+			fmt.Sprint(bin.Writers),
+			fmt.Sprintf("%.1f", float64(bin.Bytes) / *dt / 1e6),
+		})
+	}
+	fmt.Println(exp.FormatTable([]string{"t (s)", "active writers", "MB/s"}, rows))
+}

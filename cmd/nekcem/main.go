@@ -1,0 +1,168 @@
+// Command nekcem runs a production simulation of the NekCEM proxy end to
+// end: presetup (global mesh read), time stepping, and periodic coordinated
+// checkpoints with a selectable I/O strategy, on a simulated Blue Gene/P
+// partition with GPFS.
+//
+// Usage:
+//
+//	nekcem -np 16384 -steps 40 -ckpt-every 20 -strategy rbio
+//	nekcem -np 1024 -strategy coio -nf 16 -log trace.json
+//	nekcem -np 64 -content           # real SEDG kernel, bit-exact restart check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bgp"
+	"repro/internal/ckpt"
+	"repro/internal/exp"
+	"repro/internal/fsys"
+	"repro/internal/gpfs"
+	"repro/internal/iolog"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/nekcem"
+	"repro/internal/pvfs"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		np       = flag.Int("np", 4096, "MPI ranks (power-of-two nodes, 4 ranks/node)")
+		steps    = flag.Int("steps", 20, "solver time steps")
+		every    = flag.Int("ckpt-every", 20, "checkpoint every N steps (0: never)")
+		strategy = flag.String("strategy", "rbio", "checkpoint strategy: 1pfpp, coio, rbio, rbio1, multilevel")
+		fsName   = flag.String("fs", "gpfs", "parallel file system model: gpfs or pvfs")
+		nf       = flag.Int("nf", 0, "coio: number of files (default np/64); rbio: np/ng group count")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		quiet    = flag.Bool("quiet", false, "disable shared-storage noise")
+		content  = flag.Bool("content", false, "content mode: run the real SEDG kernel and verify restart bit-for-bit (small np)")
+		logPath  = flag.String("log", "", "write a Darshan-style I/O trace (JSON) to this file")
+		elems    = flag.Int("elements", 0, "mesh elements (default: paper weak scaling, ~4.25/rank at N=15)")
+		order    = flag.Int("order", 0, "polynomial order N (default 15; content mode default 4)")
+	)
+	flag.Parse()
+
+	mesh := nekcem.PaperMesh(*np)
+	if *content {
+		mesh = nekcem.Mesh{E: 2 * *np, N: 4}
+	}
+	if *elems > 0 {
+		mesh.E = *elems
+	}
+	if *order > 0 {
+		mesh.N = *order
+	}
+
+	var strat ckpt.Strategy
+	switch *strategy {
+	case "1pfpp":
+		strat = ckpt.OnePFPP{}
+	case "coio":
+		files := *nf
+		if files == 0 {
+			files = *np / 64
+		}
+		strat = ckpt.CoIO{NumFiles: files, Hints: mpiio.DefaultHints()}
+	case "rbio":
+		s := ckpt.DefaultRbIO()
+		if *nf > 0 {
+			s.GroupSize = *np / *nf
+		}
+		strat = s
+	case "rbio1":
+		s := ckpt.DefaultRbIO()
+		s.SingleFile = true
+		s.Hints = mpiio.DefaultHints()
+		if *nf > 0 {
+			s.GroupSize = *np / *nf
+		}
+		strat = s
+	case "multilevel":
+		strat = ckpt.DefaultMultiLevel()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	k := sim.NewKernel()
+	m, err := bgp.New(k, xrand.New(*seed), bgp.Intrepid(*np))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var fs fsys.System
+	switch *fsName {
+	case "gpfs":
+		gcfg := gpfs.DefaultConfig()
+		if *quiet {
+			gcfg.NoiseProb = 0
+		}
+		fs = gpfs.MustNew(m, gcfg)
+	case "pvfs":
+		pcfg := pvfs.DefaultConfig()
+		if *quiet {
+			pcfg.NoiseProb = 0
+		}
+		fs = pvfs.MustNew(m, pcfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown file system %q\n", *fsName)
+		os.Exit(2)
+	}
+	w := mpi.NewWorld(m, mpi.DefaultConfig())
+
+	var log *iolog.Log
+	if *logPath != "" {
+		log = &iolog.Log{}
+	}
+
+	payload := nekcem.PaperPayloadFactor
+	if *content {
+		payload = 1
+	}
+	res, err := nekcem.Run(w, fs, nekcem.RunConfig{
+		Mesh:            mesh,
+		Strategy:        strat,
+		Dir:             "ckpt",
+		Steps:           *steps,
+		CheckpointEvery: *every,
+		Synthetic:       !*content,
+		PayloadFactor:   payload,
+		Compute:         nekcem.DefaultComputeModel(),
+		Log:             log,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("NekCEM production run: np=%d E=%d N=%d strategy=%s\n", *np, mesh.E, mesh.N, strat.Name())
+	fmt.Printf("  presetup (mesh read):   %8.2f s\n", res.Presetup)
+	fmt.Printf("  compute per step:       %8.3f s\n", res.ComputeStep)
+	fmt.Printf("  simulated wall time:    %8.2f s for %d steps\n", res.Wall, *steps)
+	for _, c := range res.Checkpoints {
+		fmt.Printf("  checkpoint @step %-5d  %8.2f s  %7.2f GB  %6.2f GB/s", c.Step, c.StepTime(), float64(c.Bytes)/1e9, exp.GB(c.Bandwidth()))
+		if pb := c.PerceivedBandwidth(); pb > 0 {
+			fmt.Printf("  (perceived %.0f TB/s, workers blocked <= %.1f ms)", pb/1e12, c.MaxWorker*1e3)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  files on %s: %d\n", fs.Name(), fs.NumFiles())
+
+	if log != nil {
+		f, err := os.Create(*logPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := log.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("  I/O trace: %s (%d records)\n", *logPath, log.Len())
+	}
+}

@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "Parallel I/O
+// Performance for Application-Level Checkpointing on the Blue Gene/P
+// System" (Fu, Min, Latham, Carothers — CLUSTER 2011).
+//
+// The repository simulates the full system the paper measured — the Blue
+// Gene/P "Intrepid" machine (torus, psets, I/O nodes), a GPFS-like parallel
+// file system, an MPI runtime with ROMIO-style two-phase collective I/O,
+// and the NekCEM spectral-element solver — and implements the paper's three
+// checkpointing strategies (1PFPP, coIO, and the contributed rbIO) on top.
+// Every figure and table of the paper's evaluation regenerates from
+// cmd/iobench or the benchmarks in bench_test.go.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-versus-measured results.
+package repro

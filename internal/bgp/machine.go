@@ -1,0 +1,176 @@
+// Package bgp assembles the Blue Gene/P machine model: quad-core compute
+// nodes placed on a 3-D torus, psets of 64 compute nodes sharing one
+// dedicated I/O node (ION), and the Ethernet fabric from IONs toward the
+// storage system.
+//
+// The Intrepid presets follow the published system parameters: 4 cores per
+// node ("virtual node" mode, so MPI ranks == cores), 64 nodes (256 ranks)
+// per pset, 850 MHz cores, 425 MB/s torus links, ~850 MB/s collective
+// network per pset, 10 GbE per ION.
+package bgp
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/xrand"
+)
+
+// Config describes a machine partition.
+type Config struct {
+	Ranks        int // MPI processes; one per core in VN mode
+	RanksPerNode int // cores per compute node (4 on BG/P)
+	NodesPerPset int // compute nodes per I/O node (64 on Intrepid)
+	CPUHz        float64
+
+	Torus fabric.TorusConfig
+	Tree  fabric.TreeConfig
+	Eth   fabric.EthernetConfig
+}
+
+// Intrepid returns the configuration of an Intrepid partition with the given
+// number of MPI ranks (must be a power of two and a multiple of 4).
+func Intrepid(ranks int) Config {
+	return Config{
+		Ranks:        ranks,
+		RanksPerNode: 4,
+		NodesPerPset: 64,
+		CPUHz:        850e6,
+		Torus:        fabric.DefaultTorusConfig(),
+		Tree:         fabric.DefaultTreeConfig(),
+		Eth:          fabric.DefaultEthernetConfig(),
+	}
+}
+
+// BlueGeneL returns the configuration of a Blue Gene/L partition, the
+// machine of the authors' prior study (reference [3]): 700 MHz cores, two
+// cores per node ("virtual node" mode), 1 ION per 32 compute nodes on the
+// large ANL/SDSC-class systems, 175 MB/s torus links per direction and a
+// ~350 MB/s collective network.
+func BlueGeneL(ranks int) Config {
+	cfg := Config{
+		Ranks:        ranks,
+		RanksPerNode: 2,
+		NodesPerPset: 32,
+		CPUHz:        700e6,
+		Torus:        fabric.DefaultTorusConfig(),
+		Tree:         fabric.DefaultTreeConfig(),
+		Eth:          fabric.DefaultEthernetConfig(),
+	}
+	cfg.Torus.LinkBW = 175e6
+	cfg.Torus.InjectBW = 2.0e9
+	cfg.Tree.BW = 350e6
+	cfg.Eth.IONBw = 1e9 / 8 * 4 // ~0.5 GB/s per ION (4x less ION bandwidth)
+	cfg.Eth.CoreBW = 8e9
+	return cfg
+}
+
+// Validate checks internal consistency of the configuration.
+func (c Config) Validate() error {
+	if c.Ranks <= 0 {
+		return fmt.Errorf("bgp: ranks must be positive, got %d", c.Ranks)
+	}
+	if c.RanksPerNode <= 0 || c.Ranks%c.RanksPerNode != 0 {
+		return fmt.Errorf("bgp: ranks %d not divisible by ranks-per-node %d", c.Ranks, c.RanksPerNode)
+	}
+	nodes := c.Ranks / c.RanksPerNode
+	if nodes&(nodes-1) != 0 {
+		return fmt.Errorf("bgp: node count %d is not a power of two", nodes)
+	}
+	if c.NodesPerPset <= 0 {
+		return fmt.Errorf("bgp: nodes-per-pset must be positive, got %d", c.NodesPerPset)
+	}
+	if c.CPUHz <= 0 {
+		return fmt.Errorf("bgp: CPU frequency must be positive")
+	}
+	return nil
+}
+
+// Machine is a built partition: all fabrics instantiated over a shared
+// simulation kernel.
+type Machine struct {
+	Cfg   Config
+	K     *sim.Kernel
+	RNG   *xrand.RNG // machine-level noise stream
+	Topo  topo.Torus
+	Torus *fabric.Torus
+	Tree  *fabric.Tree
+	Eth   *fabric.Ethernet
+
+	numNodes int
+	numPsets int
+}
+
+// New builds a machine for the given configuration on the kernel. The RNG
+// seeds all machine-level nondeterminism (OS noise, storage noise).
+func New(k *sim.Kernel, rng *xrand.RNG, cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := cfg.Ranks / cfg.RanksPerNode
+	psets := (nodes + cfg.NodesPerPset - 1) / cfg.NodesPerPset
+	t := topo.Dims(nodes)
+	return &Machine{
+		Cfg:      cfg,
+		K:        k,
+		RNG:      rng,
+		Topo:     t,
+		Torus:    fabric.NewTorus(t, cfg.Torus),
+		Tree:     fabric.NewTree(psets, cfg.Tree),
+		Eth:      fabric.NewEthernet(psets, cfg.Eth),
+		numNodes: nodes,
+		numPsets: psets,
+	}, nil
+}
+
+// MustNew is New, panicking on configuration errors. Intended for tests and
+// examples with known-good configs.
+func MustNew(k *sim.Kernel, rng *xrand.RNG, cfg Config) *Machine {
+	m, err := New(k, rng, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NumNodes returns the number of compute nodes in the partition.
+func (m *Machine) NumNodes() int { return m.numNodes }
+
+// NumPsets returns the number of psets (== IONs) in the partition.
+func (m *Machine) NumPsets() int { return m.numPsets }
+
+// NodeOfRank returns the compute node hosting an MPI rank. Ranks are packed
+// onto nodes in order (VN mode: ranks 4k..4k+3 share node k), matching the
+// default BG/P mapping.
+func (m *Machine) NodeOfRank(rank int) int {
+	if rank < 0 || rank >= m.Cfg.Ranks {
+		panic(fmt.Sprintf("bgp: rank %d out of range [0,%d)", rank, m.Cfg.Ranks))
+	}
+	return rank / m.Cfg.RanksPerNode
+}
+
+// PsetOfNode returns the pset index of a compute node.
+func (m *Machine) PsetOfNode(node int) int {
+	if node < 0 || node >= m.numNodes {
+		panic(fmt.Sprintf("bgp: node %d out of range [0,%d)", node, m.numNodes))
+	}
+	return node / m.Cfg.NodesPerPset
+}
+
+// PsetOfRank returns the pset index of an MPI rank.
+func (m *Machine) PsetOfRank(rank int) int {
+	return m.PsetOfNode(m.NodeOfRank(rank))
+}
+
+// RanksPerPset returns the number of MPI ranks sharing one ION.
+func (m *Machine) RanksPerPset() int {
+	return m.Cfg.NodesPerPset * m.Cfg.RanksPerNode
+}
+
+// Cycles converts a CPU cycle count to seconds on this machine.
+func (m *Machine) Cycles(n float64) float64 { return n / m.Cfg.CPUHz }
+
+// ToCycles converts seconds to CPU cycles on this machine.
+func (m *Machine) ToCycles(sec float64) float64 { return sec * m.Cfg.CPUHz }

@@ -1,0 +1,309 @@
+// Package ckpt implements the paper's application-level checkpointing I/O
+// strategies over the simulated machine:
+//
+//   - OnePFPP — "1 POSIX file per processor": every rank creates and writes
+//     its own file (np files in one directory).
+//   - CoIO — tuned MPI-IO collective writes: the ranks are split into nf
+//     groups, each group writes one shared file with two-phase collective
+//     buffering, committing field by field.
+//   - RbIO — the paper's contribution, "reduced-blocking I/O": groups of
+//     GroupSize ranks each dedicate their first rank as a writer; the other
+//     ranks (workers) MPI_Isend their six field arrays to the writer and
+//     return immediately. The writer aggregates, reorders by field, buffers,
+//     and commits either to its own file (nf = ng, independent
+//     MPI_File_write_at) or collectively with the other writers to a single
+//     shared file (nf = 1).
+//
+// Strategies are planned once (communicator setup, like NekCEM's presetup)
+// and then invoked per checkpoint step. Every strategy writes the cemfmt
+// file layout, so any checkpoint can be restarted with Plan.Read and — in
+// content mode — verified bit-for-bit.
+package ckpt
+
+import (
+	"fmt"
+
+	"repro/internal/cemfmt"
+	"repro/internal/data"
+	"repro/internal/fsys"
+	"repro/internal/iolog"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+)
+
+// App is the application name stamped into checkpoint headers.
+const App = "NekCEM"
+
+// Field is one named per-rank data array of a checkpoint.
+type Field struct {
+	Name string
+	Data data.Buf
+}
+
+// Checkpoint is the coordinated local state a rank contributes to one
+// checkpoint step. All fields of a rank must have equal byte size (NekCEM
+// fields are all n/P grid-point arrays), and every rank must present the
+// same field names in the same order.
+type Checkpoint struct {
+	Step    int64
+	SimTime float64
+	Fields  []Field
+}
+
+// ChunkBytes returns the per-field byte size of this rank's contribution,
+// validating the equal-size invariant.
+func (cp *Checkpoint) ChunkBytes() (int64, error) {
+	if len(cp.Fields) == 0 {
+		return 0, fmt.Errorf("ckpt: checkpoint has no fields")
+	}
+	n := cp.Fields[0].Data.Len()
+	for _, f := range cp.Fields[1:] {
+		if f.Data.Len() != n {
+			return 0, fmt.Errorf("ckpt: field %q has %d bytes, want %d (all fields must match)",
+				f.Name, f.Data.Len(), n)
+		}
+	}
+	return n, nil
+}
+
+// TotalBytes returns the rank's total contribution across fields.
+func (cp *Checkpoint) TotalBytes() int64 {
+	var t int64
+	for _, f := range cp.Fields {
+		t += f.Data.Len()
+	}
+	return t
+}
+
+func (cp *Checkpoint) fieldNames() []string {
+	names := make([]string, len(cp.Fields))
+	for i, f := range cp.Fields {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Role describes what a rank did during a checkpoint step.
+type Role int
+
+// Roles.
+const (
+	RoleAll    Role = iota // every rank does I/O (1PFPP, coIO)
+	RoleWorker             // rbIO worker: ships data and returns
+	RoleWriter             // rbIO writer: aggregates and commits
+)
+
+func (ro Role) String() string {
+	switch ro {
+	case RoleAll:
+		return "all"
+	case RoleWorker:
+		return "worker"
+	case RoleWriter:
+		return "writer"
+	}
+	return fmt.Sprintf("Role(%d)", int(ro))
+}
+
+// Stats describes one rank's view of one checkpoint step.
+type Stats struct {
+	Role  Role
+	Start float64 // when the rank entered the checkpoint call
+	End   float64 // when the rank returned to the application
+	// Perceived is the time the rank's data hand-off occupied it. For rbIO
+	// workers this is the summed MPI_Isend local completion time (Table I's
+	// perceived write speed); for blocking strategies it equals End-Start.
+	Perceived float64
+	Bytes     int64 // bytes this rank contributed
+	// Durable is when this rank's portion was committed to storage (writers
+	// and direct writers; zero for rbIO workers, whose data becomes durable
+	// on their writer's clock).
+	Durable float64
+}
+
+// Blocked returns how long the application was blocked on this rank.
+func (s Stats) Blocked() float64 { return s.End - s.Start }
+
+// Env carries the I/O environment a strategy writes into.
+type Env struct {
+	FS  fsys.System
+	Dir string
+	Log *iolog.Log // optional op log for the Darshan-style analyses
+}
+
+func (e *Env) log(rank int, op iolog.Op, start, end float64, bytes int64) {
+	e.Log.Add(iolog.Record{Rank: rank, Op: op, Start: start, End: end, Bytes: bytes})
+}
+
+// Strategy is a checkpointing I/O approach. Plan is collective over the
+// communicator and must be called once by every rank before the first
+// checkpoint (communicator setup happens here, as in NekCEM's presetup).
+type Strategy interface {
+	Name() string
+	Plan(c *mpi.Comm, r *mpi.Rank) (Plan, error)
+}
+
+// Plan is a rank's prepared checkpointing pipeline.
+type Plan interface {
+	// Write performs one coordinated checkpoint step.
+	Write(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, error)
+	// Read restores this rank's chunk of the checkpoint written at the
+	// given step. Field payloads are real if the file holds content,
+	// synthetic (correct sizes) for paper-scale runs.
+	Read(env *Env, r *mpi.Rank, step int64) (*Checkpoint, error)
+}
+
+// rankFile names the 1PFPP output of one rank.
+func rankFile(dir string, step int64, rank int) string {
+	return fmt.Sprintf("%s/step%06d.p%06d.nek", dir, step, rank)
+}
+
+// groupFile names the output of file-group g.
+func groupFile(dir string, step int64, g int) string {
+	return fmt.Sprintf("%s/step%06d.f%05d.nek", dir, step, g)
+}
+
+// buildHeader assembles the master header for a file holding the given
+// chunk sizes.
+func buildHeader(cp *Checkpoint, chunkBytes []int64) *cemfmt.Header {
+	return &cemfmt.Header{
+		App:        App,
+		Step:       cp.Step,
+		SimTime:    cp.SimTime,
+		Fields:     cp.fieldNames(),
+		ChunkBytes: chunkBytes,
+	}
+}
+
+// headerResult carries a parsed master header (or the failure) from the
+// reading rank to its peers.
+type headerResult struct {
+	hdr *cemfmt.Header
+	err error
+}
+
+// readChunkCollective restores a rank's chunk of path with collective I/O
+// on comm: one rank opens and parses the master header, everyone shares it,
+// and each field is fetched with a collective read (aggregators read their
+// file domain once and scatter pieces) — the restart path a tuned MPI-IO
+// application uses, avoiding a metadata storm of per-rank opens.
+func readChunkCollective(env *Env, comm *mpi.Comm, r *mpi.Rank, hints mpiio.Hints, path string, chunkIdx int) (*Checkpoint, error) {
+	t0 := r.Now()
+	f, err := mpiio.Open(comm, r, env.FS, path, false, hints)
+	if err != nil {
+		return nil, err
+	}
+	env.log(r.ID(), iolog.OpOpen, t0, r.Now(), 0)
+
+	var hr headerResult
+	if comm.Rank(r) == 0 {
+		hr.hdr, hr.err = parseHeader(env, r, f.Handle(), path)
+	}
+	hr = comm.BcastValueSized(r, 0, hr, 4096).(headerResult)
+	if hr.err != nil {
+		return nil, hr.err
+	}
+	hdr := hr.hdr
+	if chunkIdx < 0 || chunkIdx >= hdr.NumChunks() {
+		return nil, fmt.Errorf("ckpt: chunk %d not in %s (%d chunks)", chunkIdx, path, hdr.NumChunks())
+	}
+	cp := &Checkpoint{Step: hdr.Step, SimTime: hdr.SimTime}
+	for fi, name := range hdr.Fields {
+		t1 := r.Now()
+		buf, err := f.ReadAtAll(r, hdr.ChunkOffset(fi, chunkIdx), hdr.ChunkBytes[chunkIdx])
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: collective read of field %s in %s: %w", name, path, err)
+		}
+		env.log(r.ID(), iolog.OpRead, t1, r.Now(), buf.Len())
+		cp.Fields = append(cp.Fields, Field{Name: name, Data: buf})
+	}
+	t2 := r.Now()
+	if err := f.Close(r); err != nil {
+		return nil, err
+	}
+	env.log(r.ID(), iolog.OpClose, t2, r.Now(), 0)
+	return cp, nil
+}
+
+// parseHeader fetches and decodes a file's master header.
+func parseHeader(env *Env, r *mpi.Rank, h fsys.Handle, path string) (*cemfmt.Header, error) {
+	p := r.Proc()
+	pre, err := h.ReadAt(p, r.ID(), 0, cemfmt.PreambleSize)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: reading preamble of %s: %w", path, err)
+	}
+	if !pre.Real() {
+		return nil, fmt.Errorf("ckpt: %s header was written synthetically; cannot restart", path)
+	}
+	hlen, err := cemfmt.HeaderLenFromPreamble(pre.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	rest, err := h.ReadAt(p, r.ID(), 0, cemfmt.PreambleSize+hlen)
+	if err != nil {
+		return nil, err
+	}
+	return cemfmt.Unmarshal(rest.Bytes())
+}
+
+// readChunk opens path and restores chunk chunkIdx for all fields with
+// independent reads (the 1PFPP restart path). The master header is parsed
+// when real; with synthetic content the caller's layout knowledge (expected
+// chunk count) drives the offsets.
+func readChunk(env *Env, r *mpi.Rank, path string, chunkIdx int) (*Checkpoint, error) {
+	p := r.Proc()
+	t0 := r.Now()
+	h, err := env.FS.Open(p, r.ID(), path)
+	if err != nil {
+		return nil, err
+	}
+	env.log(r.ID(), iolog.OpOpen, t0, r.Now(), 0)
+
+	hdr, err := parseHeader(env, r, h, path)
+	if err != nil {
+		return nil, err
+	}
+	if chunkIdx < 0 || chunkIdx >= hdr.NumChunks() {
+		return nil, fmt.Errorf("ckpt: chunk %d not in %s (%d chunks)", chunkIdx, path, hdr.NumChunks())
+	}
+	cp := &Checkpoint{Step: hdr.Step, SimTime: hdr.SimTime}
+	for fi, name := range hdr.Fields {
+		t1 := r.Now()
+		buf, err := h.ReadAt(p, r.ID(), hdr.ChunkOffset(fi, chunkIdx), hdr.ChunkBytes[chunkIdx])
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: reading field %s of %s: %w", name, path, err)
+		}
+		env.log(r.ID(), iolog.OpRead, t1, r.Now(), buf.Len())
+		cp.Fields = append(cp.Fields, Field{Name: name, Data: buf})
+	}
+	t2 := r.Now()
+	if err := h.Close(p, r.ID()); err != nil {
+		return nil, err
+	}
+	env.log(r.ID(), iolog.OpClose, t2, r.Now(), 0)
+	return cp, nil
+}
+
+// ValidateFile structurally verifies a written checkpoint file on the
+// simulated file system: master header, advertised size, and (in content
+// mode) every field's block header. It returns the parsed header and how
+// many block headers were materialized and checked.
+func ValidateFile(env *Env, r *mpi.Rank, path string) (*cemfmt.Header, int, error) {
+	p := r.Proc()
+	h, err := env.FS.Open(p, r.ID(), path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer h.Close(p, r.ID())
+	read := func(off, n int64) ([]byte, error) {
+		buf, err := h.ReadAt(p, r.ID(), off, n)
+		if err != nil {
+			return nil, err
+		}
+		if !buf.Real() {
+			return nil, nil // synthetic region: structure not inspectable
+		}
+		return buf.Bytes(), nil
+	}
+	return cemfmt.Validate(read, h.Size())
+}

@@ -1,0 +1,175 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+)
+
+// MultiLevel is an SCR-style multi-level checkpointing extension (the
+// paper's Related Work discusses SCR [32] and notes Blue Gene/P's compute
+// node kernel could not host its RAM-disk level — "this barrier will
+// disappear as future leadership computing systems provide more
+// full-featured OS capabilities"; this strategy explores that future).
+//
+// Every checkpoint is written to node-local RAM disk — fast, and sufficient
+// to recover from application-level failures. Every GlobalEvery-th
+// checkpoint is additionally written to the parallel file system with the
+// wrapped Global strategy, covering node-loss failures. Restart prefers the
+// local level and falls back to the global one.
+type MultiLevel struct {
+	// Global is the parallel-file-system strategy for the durable level.
+	Global Strategy
+	// GlobalEvery writes every k-th checkpoint globally (1 = every one).
+	GlobalEvery int
+	// LocalBW is the node-local RAM-disk bandwidth shared by a node's four
+	// ranks (DDR2 share on BG/P-class hardware).
+	LocalBW float64
+	// LocalLatency is the per-write local storage latency.
+	LocalLatency float64
+}
+
+// DefaultMultiLevel wraps the paper's rbIO with a local level flushed
+// globally every 4th checkpoint.
+func DefaultMultiLevel() MultiLevel {
+	return MultiLevel{
+		Global:       DefaultRbIO(),
+		GlobalEvery:  4,
+		LocalBW:      1.4e9,
+		LocalLatency: 20e-6,
+	}
+}
+
+// Name implements Strategy.
+func (s MultiLevel) Name() string {
+	return fmt.Sprintf("multilevel(local+%s/%d)", s.Global.Name(), s.globalEvery())
+}
+
+func (s MultiLevel) globalEvery() int {
+	if s.GlobalEvery < 1 {
+		return 1
+	}
+	return s.GlobalEvery
+}
+
+// Plan implements Strategy.
+func (s MultiLevel) Plan(c *mpi.Comm, r *mpi.Rank) (Plan, error) {
+	if s.Global == nil {
+		return nil, fmt.Errorf("ckpt/multilevel: no global strategy")
+	}
+	gp, err := s.Global.Plan(c, r)
+	if err != nil {
+		return nil, err
+	}
+	bw := s.LocalBW
+	if bw <= 0 {
+		bw = 1.4e9
+	}
+	// One RAM-disk pipe per compute node, shared by its ranks; the node
+	// store is shared plan state so every rank of a node contends on it.
+	pipes := c.Shared(r, func() any { return map[int]*fabric.Pipe{} }).(map[int]*fabric.Pipe)
+	local := c.Shared(r, func() any { return map[int]*localCkpt{} }).(map[int]*localCkpt)
+	return &mlPlan{
+		cfg:    s,
+		c:      c,
+		global: gp,
+		pipes:  pipes,
+		bw:     bw,
+		local:  local,
+		count:  map[int]int{},
+	}, nil
+}
+
+// localCkpt is a rank's most recent RAM-disk checkpoint.
+type localCkpt struct {
+	cp *Checkpoint
+}
+
+type mlPlan struct {
+	cfg    MultiLevel
+	c      *mpi.Comm
+	global Plan
+	pipes  map[int]*fabric.Pipe // node -> RAM-disk pipe (shared across ranks)
+	bw     float64
+	local  map[int]*localCkpt // world rank -> latest local checkpoint (shared)
+	count  map[int]int        // per-rank checkpoint counter (rank-local)
+}
+
+// nodePipe returns the RAM-disk pipe of the calling rank's node.
+func (pl *mlPlan) nodePipe(r *mpi.Rank) *fabric.Pipe {
+	node := r.World().M.NodeOfRank(r.ID())
+	p, ok := pl.pipes[node]
+	if !ok {
+		lat := pl.cfg.LocalLatency
+		if lat <= 0 {
+			lat = 20e-6
+		}
+		p = fabric.NewPipe(fmt.Sprintf("ramdisk/n%d", node), lat, pl.bw)
+		pl.pipes[node] = p
+	}
+	return p
+}
+
+// Write implements Plan: always local, periodically also global.
+func (pl *mlPlan) Write(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, error) {
+	if _, err := cp.ChunkBytes(); err != nil {
+		return Stats{}, err
+	}
+	start := r.Now()
+	_, end := pl.nodePipe(r).Transfer(r.Now(), cp.TotalBytes())
+	r.Proc().SleepUntil(end)
+	pl.local[r.ID()] = &localCkpt{cp: cp}
+
+	pl.count[r.ID()]++
+	if pl.count[r.ID()]%pl.cfg.globalEvery() == 0 {
+		gs, err := pl.global.Write(env, r, cp)
+		if err != nil {
+			return Stats{}, err
+		}
+		gs.Start = start // include the local phase in the blocked window
+		return gs, nil
+	}
+	now := r.Now()
+	return Stats{
+		Role:      RoleAll,
+		Start:     start,
+		End:       now,
+		Perceived: now - start,
+		Bytes:     cp.TotalBytes(),
+		Durable:   now, // durable at level 1 (survives application failure)
+	}, nil
+}
+
+// Read implements Plan: local first, global as the fallback.
+func (pl *mlPlan) Read(env *Env, r *mpi.Rank, step int64) (*Checkpoint, error) {
+	if lc := pl.local[r.ID()]; lc != nil && lc.cp.Step == step {
+		_, end := pl.nodePipe(r).Transfer(r.Now(), lc.cp.TotalBytes())
+		r.Proc().SleepUntil(end)
+		return lc.cp, nil
+	}
+	return pl.global.Read(env, r, step)
+}
+
+// DropLocal simulates the loss of a rank's node-local storage (a node
+// failure): subsequent reads must fall back to the global level.
+func (pl *mlPlan) DropLocal(rank int) { delete(pl.local, rank) }
+
+// LocalSteps reports which step a rank's local level currently holds
+// (-1 when empty), for tests and diagnostics.
+func (pl *mlPlan) LocalStep(rank int) int64 {
+	if lc := pl.local[rank]; lc != nil {
+		return lc.cp.Step
+	}
+	return -1
+}
+
+// MultiLevelPlan exposes the extension's extra operations (local-loss
+// injection) to callers holding a generic Plan.
+type MultiLevelPlan interface {
+	Plan
+	DropLocal(rank int)
+	LocalStep(rank int) int64
+}
+
+var _ MultiLevelPlan = (*mlPlan)(nil)

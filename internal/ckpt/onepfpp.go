@@ -1,0 +1,86 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"repro/internal/cemfmt"
+	"repro/internal/data"
+	"repro/internal/iolog"
+	"repro/internal/mpi"
+)
+
+// OnePFPP is the traditional "1 POSIX file per processor" strategy: every
+// rank creates its own output file in the shared checkpoint directory and
+// writes its header and field blocks with plain (POSIX-like) calls. All np
+// creates land in one directory, which is exactly the metadata storm the
+// paper measures.
+type OnePFPP struct{}
+
+// Name implements Strategy.
+func (OnePFPP) Name() string { return "1PFPP" }
+
+// Plan implements Strategy. 1PFPP needs no communicator setup.
+func (OnePFPP) Plan(c *mpi.Comm, r *mpi.Rank) (Plan, error) {
+	return &onePlan{c: c}, nil
+}
+
+type onePlan struct {
+	c *mpi.Comm
+}
+
+// Write implements Plan.
+func (pl *onePlan) Write(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, error) {
+	chunk, err := cp.ChunkBytes()
+	if err != nil {
+		return Stats{}, err
+	}
+	p := r.Proc()
+	start := r.Now()
+	path := rankFile(env.Dir, cp.Step, pl.c.Rank(r))
+
+	t0 := r.Now()
+	h, err := env.FS.Create(p, r.ID(), path)
+	if err != nil {
+		return Stats{}, fmt.Errorf("ckpt/1pfpp: %w", err)
+	}
+	env.log(r.ID(), iolog.OpCreate, t0, r.Now(), 0)
+
+	hdr := buildHeader(cp, []int64{chunk})
+	t1 := r.Now()
+	if err := h.WriteAt(p, r.ID(), 0, data.FromBytes(hdr.Marshal())); err != nil {
+		return Stats{}, err
+	}
+	env.log(r.ID(), iolog.OpWrite, t1, r.Now(), hdr.HeaderSize())
+
+	// The file is written by fields, as the paper describes: block header
+	// plus this rank's single chunk, per field.
+	for fi, f := range cp.Fields {
+		payload := data.Concat(data.FromBytes(cemfmt.BlockHeader(f.Name, chunk)), f.Data)
+		t2 := r.Now()
+		if err := h.WriteAt(p, r.ID(), hdr.FieldOffset(fi), payload); err != nil {
+			return Stats{}, err
+		}
+		env.log(r.ID(), iolog.OpWrite, t2, r.Now(), payload.Len())
+	}
+
+	t3 := r.Now()
+	if err := h.Close(p, r.ID()); err != nil {
+		return Stats{}, err
+	}
+	env.log(r.ID(), iolog.OpClose, t3, r.Now(), 0)
+
+	end := r.Now()
+	return Stats{
+		Role:      RoleAll,
+		Start:     start,
+		End:       end,
+		Perceived: end - start,
+		Bytes:     cp.TotalBytes(),
+		Durable:   end,
+	}, nil
+}
+
+// Read implements Plan: each rank reopens its own file.
+func (pl *onePlan) Read(env *Env, r *mpi.Rank, step int64) (*Checkpoint, error) {
+	return readChunk(env, r, rankFile(env.Dir, step, pl.c.Rank(r)), 0)
+}

@@ -1,0 +1,122 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSyntheticBasics(t *testing.T) {
+	b := Synthetic(1 << 30)
+	if b.Len() != 1<<30 {
+		t.Fatalf("len %d", b.Len())
+	}
+	if b.Real() {
+		t.Fatal("synthetic payload claims to be real")
+	}
+	if b.Bytes() != nil {
+		t.Fatal("synthetic payload has bytes")
+	}
+}
+
+func TestZeroLengthIsReal(t *testing.T) {
+	if !Synthetic(0).Real() {
+		t.Fatal("empty payload should count as real (nothing to fabricate)")
+	}
+	if !FromBytes(nil).Real() {
+		t.Fatal("empty real payload not real")
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Synthetic(-1) did not panic")
+		}
+	}()
+	Synthetic(-1)
+}
+
+func TestFromBytesAliases(t *testing.T) {
+	src := []byte{1, 2, 3}
+	b := FromBytes(src)
+	if !b.Real() || b.Len() != 3 {
+		t.Fatalf("bad payload %+v", b)
+	}
+	src[0] = 9
+	if b.Bytes()[0] != 9 {
+		t.Fatal("FromBytes should alias, not copy")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	b := FromBytes([]byte("abcdef"))
+	s := b.Slice(2, 3)
+	if string(s.Bytes()) != "cde" {
+		t.Fatalf("slice %q", s.Bytes())
+	}
+	syn := Synthetic(100).Slice(10, 20)
+	if syn.Real() || syn.Len() != 20 {
+		t.Fatalf("synthetic slice %+v", syn)
+	}
+}
+
+func TestSliceBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds slice did not panic")
+		}
+	}()
+	FromBytes([]byte("ab")).Slice(1, 5)
+}
+
+func TestConcatReal(t *testing.T) {
+	got := Concat(FromBytes([]byte("ab")), FromBytes([]byte("cd")), FromBytes(nil))
+	if !got.Real() || string(got.Bytes()) != "abcd" {
+		t.Fatalf("concat %+v", got)
+	}
+}
+
+func TestConcatMixedIsSynthetic(t *testing.T) {
+	got := Concat(FromBytes([]byte("ab")), Synthetic(10))
+	if got.Real() {
+		t.Fatal("mixing real and synthetic must yield synthetic")
+	}
+	if got.Len() != 12 {
+		t.Fatalf("len %d", got.Len())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromBytes([]byte{1, 2})
+	b := FromBytes([]byte{1, 2})
+	c := FromBytes([]byte{1, 3})
+	if !Equal(a, b) || Equal(a, c) {
+		t.Fatal("Equal on real payloads wrong")
+	}
+	if !Equal(Synthetic(5), Synthetic(5)) || Equal(Synthetic(5), Synthetic(6)) {
+		t.Fatal("Equal on synthetic payloads wrong")
+	}
+	if Equal(Synthetic(2), a) {
+		t.Fatal("synthetic equal to real")
+	}
+}
+
+func TestSlicePreservesContentProperty(t *testing.T) {
+	f := func(b []byte, o, n uint8) bool {
+		if len(b) == 0 {
+			return true
+		}
+		off := int64(o) % int64(len(b))
+		cnt := int64(n) % (int64(len(b)) - off + 1)
+		s := FromBytes(b).Slice(off, cnt)
+		for i := int64(0); i < cnt; i++ {
+			if s.Bytes()[i] != b[off+i] {
+				return false
+			}
+		}
+		return s.Len() == cnt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/bgp"
+	"repro/internal/ckpt"
+	"repro/internal/gpfs"
+	"repro/internal/mpi"
+	"repro/internal/nekcem"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// Eq1Result is the paper's production-time improvement (Equation 1):
+// (Ratio_1PFPP + nc) / (Ratio_rbIO + nc), plus the directly measured
+// end-to-end improvement from running nc solver steps with one checkpoint
+// under both strategies.
+type Eq1Result struct {
+	NP         int
+	NC         int
+	Ratio1PFPP float64
+	RatioRbIO  float64
+	Formula    float64 // Equation (1)
+	Wall1PFPP  float64 // measured end-to-end production seconds
+	WallRbIO   float64
+	Measured   float64 // Wall1PFPP / WallRbIO
+}
+
+// production runs nc solver steps with a checkpoint at step nc and returns
+// the end-to-end time and the checkpoint/compute ratio.
+func production(o Options, np, nc int, strat ckpt.Strategy) (wall, ratio float64, err error) {
+	k := sim.NewKernel()
+	m, err := bgp.New(k, xrand.New(o.seed()^uint64(np)), bgp.Intrepid(np))
+	if err != nil {
+		return 0, 0, err
+	}
+	gcfg := gpfs.DefaultConfig()
+	if o.Quiet {
+		gcfg.NoiseProb = 0
+	}
+	fs, err := gpfs.New(m, gcfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	w := mpi.NewWorld(m, mpi.DefaultConfig())
+	res, err := nekcem.Run(w, fs, nekcem.RunConfig{
+		Mesh:            nekcem.PaperMesh(np),
+		Strategy:        strat,
+		Dir:             "ckpt",
+		Steps:           nc,
+		CheckpointEvery: nc,
+		Synthetic:       true,
+		SkipPresetup:    true,
+		PayloadFactor:   nekcem.PaperPayloadFactor,
+		Compute:         nekcem.DefaultComputeModel(),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Wall, res.Checkpoints[0].StepTime() / res.ComputeStep, nil
+}
+
+// Eq1 evaluates the production improvement of rbIO over 1PFPP at checkpoint
+// frequency nc (the paper uses nc = 20 and reports ~25x).
+func Eq1(o Options, np, nc int) (*Eq1Result, error) {
+	w1, r1, err := production(o, np, nc, ckpt.OnePFPP{})
+	if err != nil {
+		return nil, err
+	}
+	w2, r2, err := production(o, np, nc, DefaultRbIOWithGroup(64))
+	if err != nil {
+		return nil, err
+	}
+	return &Eq1Result{
+		NP: np, NC: nc,
+		Ratio1PFPP: r1, RatioRbIO: r2,
+		Formula:   (r1 + float64(nc)) / (r2 + float64(nc)),
+		Wall1PFPP: w1, WallRbIO: w2,
+		Measured: w1 / w2,
+	}, nil
+}
+
+// Table renders the Eq1 result.
+func (e *Eq1Result) Table() string {
+	rows := [][]string{{
+		fmt.Sprint(e.NP), fmt.Sprint(e.NC),
+		fmt.Sprintf("%.0f", e.Ratio1PFPP),
+		fmt.Sprintf("%.0f", e.RatioRbIO),
+		fmt.Sprintf("%.1fx", e.Formula),
+		fmt.Sprintf("%.1fx", e.Measured),
+	}}
+	return FormatTable([]string{"np", "nc", "Ratio(1PFPP)", "Ratio(rbIO)", "Eq(1) improvement", "measured end-to-end"}, rows)
+}
+
+// SpeedupResult evaluates the paper's Section V-C2 analysis: the total
+// blocked processor-time of coIO versus rbIO, measured (Equation 2 over the
+// per-rank blocking) and analytic (Equation 7: (np/ng)*(BW_rbIO/BW_coIO)).
+type SpeedupResult struct {
+	NP       int
+	TcoIO    float64 // sum over ranks of blocked seconds, coIO 64:1
+	TrbIO    float64 // sum over ranks of blocked seconds, rbIO 64:1
+	Measured float64 // TcoIO / TrbIO (Equation 2)
+	BWcoIO   float64
+	BWrbIO   float64
+	Analytic float64 // Equation 7
+}
+
+// Speedup measures Equations (2)-(7) at the given processor count.
+func Speedup(o Options, np int) (*SpeedupResult, error) {
+	co, err := runCheckpoint(o, np, ckpt.CoIO{NumFiles: np / 64, Hints: defaultHints()}, false)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := runCheckpoint(o, np, DefaultRbIOWithGroup(64), false)
+	if err != nil {
+		return nil, err
+	}
+	sum := func(perRank []nekcem.RankCkpt) float64 {
+		var t float64
+		for _, pr := range perRank {
+			t += pr.Blocked
+		}
+		return t
+	}
+	res := &SpeedupResult{
+		NP:     np,
+		TcoIO:  sum(co.PerRank),
+		TrbIO:  sum(rb.PerRank),
+		BWcoIO: co.Agg.Bandwidth(),
+		BWrbIO: rb.Agg.Bandwidth(),
+	}
+	res.Measured = res.TcoIO / res.TrbIO
+	ng := float64(np) / 64
+	res.Analytic = (float64(np) / ng) * (res.BWrbIO / res.BWcoIO)
+	return res, nil
+}
+
+// Table renders the speedup analysis.
+func (s *SpeedupResult) Table() string {
+	rows := [][]string{{
+		fmt.Sprint(s.NP),
+		fmt.Sprintf("%.3g", s.TcoIO),
+		fmt.Sprintf("%.3g", s.TrbIO),
+		fmt.Sprintf("%.0fx", s.Measured),
+		fmt.Sprintf("%.0fx", s.Analytic),
+	}}
+	return FormatTable([]string{"np", "T_coIO (rank-s)", "T_rbIO (rank-s)", "measured speedup", "Eq(7) analytic"}, rows)
+}
+
+// MeshReadRow is one global-mesh-read (presetup) measurement, per Section
+// III-B: 7.5 s for E=136K on 32,768 ranks, 28 s for E=546K on 131,072.
+type MeshReadRow struct {
+	E       int
+	NP      int
+	Seconds float64
+}
+
+// MeshRead measures the presetup (global *.rea/*.map read, parse, and
+// distribution) time at the paper's two configurations.
+func MeshRead(o Options, cases ...MeshReadRow) ([]MeshReadRow, error) {
+	if len(cases) == 0 {
+		cases = []MeshReadRow{
+			{E: 136 * 1024, NP: 32768},
+			{E: 546 * 1024, NP: 131072},
+		}
+	}
+	out := make([]MeshReadRow, 0, len(cases))
+	for _, c := range cases {
+		k := sim.NewKernel()
+		m, err := bgp.New(k, xrand.New(o.seed()), bgp.Intrepid(c.NP))
+		if err != nil {
+			return nil, err
+		}
+		gcfg := gpfs.DefaultConfig()
+		if o.Quiet {
+			gcfg.NoiseProb = 0
+		}
+		fs, err := gpfs.New(m, gcfg)
+		if err != nil {
+			return nil, err
+		}
+		w := mpi.NewWorld(m, mpi.DefaultConfig())
+		res, err := nekcem.Run(w, fs, nekcem.RunConfig{
+			Mesh:      nekcem.Mesh{E: c.E, N: 15},
+			Dir:       "in",
+			Steps:     0,
+			Synthetic: true,
+			Compute:   nekcem.DefaultComputeModel(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MeshReadRow{E: c.E, NP: c.NP, Seconds: res.Presetup})
+	}
+	return out, nil
+}
+
+// MeshReadTable renders the presetup measurements.
+func MeshReadTable(rows []MeshReadRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprint(r.E), fmt.Sprint(r.NP), fmt.Sprintf("%.1f", r.Seconds),
+		})
+	}
+	return FormatTable([]string{"E (elements)", "np", "presetup (s)"}, out)
+}

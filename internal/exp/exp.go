@@ -1,0 +1,175 @@
+// Package exp defines one runnable experiment per table and figure of the
+// paper's evaluation (Section V). Each experiment builds a fresh machine +
+// GPFS + MPI world at the requested scale, runs the NekCEM proxy through
+// one or more checkpoint steps with the strategy under test, and returns
+// printable rows whose shape is directly comparable to the paper's plots.
+//
+// The cmd/iobench binary and the repository's benchmarks both drive this
+// package, so the numbers in EXPERIMENTS.md regenerate from either.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bgp"
+	"repro/internal/ckpt"
+	"repro/internal/gpfs"
+	"repro/internal/iolog"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/nekcem"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// Options configure an experiment run.
+type Options struct {
+	Seed uint64
+	// NPs are the processor counts to sweep. Defaults to the paper's
+	// 16K/32K/64K weak-scaling points.
+	NPs []int
+	// Quiet disables the shared-storage noise model (the paper ran under
+	// normal load; Quiet is the ablation).
+	Quiet bool
+}
+
+// PaperNPs are the paper's weak-scaling processor counts.
+var PaperNPs = []int{16384, 32768, 65536}
+
+func (o Options) nps() []int {
+	if len(o.NPs) > 0 {
+		return o.NPs
+	}
+	return PaperNPs
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return 1
+}
+
+// Approaches returns the paper's five headline configurations (Figure 5's
+// legend) for a given processor count.
+func Approaches(np int) []ckpt.Strategy {
+	return []ckpt.Strategy{
+		ckpt.OnePFPP{},
+		ckpt.CoIO{NumFiles: 1, Hints: mpiio.DefaultHints()},
+		ckpt.CoIO{NumFiles: np / 64, Hints: mpiio.DefaultHints()},
+		ckpt.RbIO{GroupSize: 64, SingleFile: true, WriterBuffer: 512 << 20, BufferFields: true, Hints: mpiio.DefaultHints()},
+		ckpt.DefaultRbIO(),
+	}
+}
+
+// ApproachLabels are the paper's legend strings, index-aligned with
+// Approaches.
+var ApproachLabels = []string{
+	"1PFPP",
+	"coIO, nf=1",
+	"coIO, np:nf=64:1",
+	"rbIO, np:ng=64:1, nf=1",
+	"rbIO, np:ng=64:1, nf=ng",
+}
+
+// Run is one checkpoint-step execution of a strategy at scale.
+type Run struct {
+	NP      int
+	S       int64 // bytes written
+	Agg     *nekcem.CkptAgg
+	PerRank []nekcem.RankCkpt
+	Log     *iolog.Log
+	Result  *nekcem.RunResult
+	FSStats gpfs.Stats
+}
+
+// runCheckpoint executes exactly one coordinated checkpoint step of strat on
+// an np-rank Intrepid partition and returns the measurements. withLog
+// controls whether per-op records are collected (they cost memory at 64K).
+func runCheckpoint(o Options, np int, strat ckpt.Strategy, withLog bool) (*Run, error) {
+	k := sim.NewKernel()
+	rng := xrand.New(o.seed() ^ uint64(np)*0x9e37)
+	m, err := bgp.New(k, rng, bgp.Intrepid(np))
+	if err != nil {
+		return nil, err
+	}
+	gcfg := gpfs.DefaultConfig()
+	if o.Quiet {
+		gcfg.NoiseProb = 0
+	}
+	fs, err := gpfs.New(m, gcfg)
+	if err != nil {
+		return nil, err
+	}
+	w := mpi.NewWorld(m, mpi.DefaultConfig())
+	var log *iolog.Log
+	if withLog {
+		log = &iolog.Log{}
+	}
+	res, err := nekcem.Run(w, fs, nekcem.RunConfig{
+		Mesh:            nekcem.PaperMesh(np),
+		Strategy:        strat,
+		Dir:             "ckpt",
+		Steps:           1,
+		CheckpointEvery: 1,
+		Synthetic:       true,
+		SkipPresetup:    true,
+		PayloadFactor:   nekcem.PaperPayloadFactor,
+		Compute:         nekcem.DefaultComputeModel(),
+		Log:             log,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s at np=%d: %w", strat.Name(), np, err)
+	}
+	if len(res.Checkpoints) != 1 {
+		return nil, fmt.Errorf("exp: expected 1 checkpoint, got %d", len(res.Checkpoints))
+	}
+	return &Run{
+		NP:      np,
+		S:       res.Checkpoints[0].Bytes,
+		Agg:     res.Checkpoints[0],
+		PerRank: res.PerRank,
+		Log:     log,
+		Result:  res,
+		FSStats: fs.Stats,
+	}, nil
+}
+
+// FormatTable renders rows as an aligned text table.
+func FormatTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// GB converts bytes/s to the paper's GB/s (decimal).
+func GB(bytesPerSec float64) float64 { return bytesPerSec / 1e9 }

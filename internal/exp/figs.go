@@ -1,0 +1,176 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+)
+
+// HeadlineRow is one (approach, np) measurement shared by Figures 5-7.
+type HeadlineRow struct {
+	NP        int
+	Approach  string
+	S         int64   // bytes per checkpoint step
+	StepSec   float64 // Figure 6: overall time per checkpoint step
+	GBps      float64 // Figure 5: write bandwidth
+	Ratio     float64 // Figure 7: checkpoint time / computation time per step
+	WorkerSec float64 // rbIO: slowest worker's blocking
+}
+
+// Headline runs the paper's five approaches across the weak-scaling points;
+// Figures 5, 6 and 7 are different views of these runs. Passing approach
+// indices restricts the sweep to those columns of the legend.
+func Headline(o Options, approaches ...int) ([]HeadlineRow, error) {
+	if len(approaches) == 0 {
+		approaches = []int{0, 1, 2, 3, 4}
+	}
+	var rows []HeadlineRow
+	for _, np := range o.nps() {
+		all := Approaches(np)
+		for _, ai := range approaches {
+			r, err := runCheckpoint(o, np, all[ai], false)
+			if err != nil {
+				return nil, err
+			}
+			step := r.Agg.StepTime()
+			rows = append(rows, HeadlineRow{
+				NP:        np,
+				Approach:  ApproachLabels[ai],
+				S:         r.S,
+				StepSec:   step,
+				GBps:      GB(r.Agg.Bandwidth()),
+				Ratio:     step / r.Result.ComputeStep,
+				WorkerSec: r.Agg.MaxWorker,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig5Table renders the write-bandwidth view (paper Figure 5).
+func Fig5Table(rows []HeadlineRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprint(r.NP), r.Approach,
+			fmt.Sprintf("%.1f", float64(r.S)/1e9),
+			fmt.Sprintf("%.2f", r.GBps),
+		})
+	}
+	return FormatTable([]string{"np", "approach", "S (GB)", "bandwidth (GB/s)"}, out)
+}
+
+// Fig6Table renders the overall checkpoint-step time view (paper Figure 6).
+func Fig6Table(rows []HeadlineRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprint(r.NP), r.Approach,
+			fmt.Sprintf("%.1f", r.StepSec),
+		})
+	}
+	return FormatTable([]string{"np", "approach", "time per ckpt step (s)"}, out)
+}
+
+// Fig7Table renders the checkpoint/computation ratio view (paper Figure 7).
+func Fig7Table(rows []HeadlineRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprint(r.NP), r.Approach,
+			fmt.Sprintf("%.0f", r.Ratio),
+		})
+	}
+	return FormatTable([]string{"np", "approach", "T(ckpt)/T(comp)"}, out)
+}
+
+// Fig8Row is one point of the rbIO file-count sweep (paper Figure 8).
+type Fig8Row struct {
+	NP   int
+	NF   int // number of files == number of writer groups
+	GBps float64
+}
+
+// Fig8 sweeps rbIO (nf = ng) over nf in {256, 512, 1024, 2048, 4096} at
+// each processor count, the paper's tuning experiment. Group sizes smaller
+// than 2 (nf == np) are skipped, as in the paper.
+func Fig8(o Options) ([]Fig8Row, error) {
+	nfs := []int{256, 512, 1024, 2048, 4096}
+	var rows []Fig8Row
+	for _, np := range o.nps() {
+		for _, nf := range nfs {
+			gs := np / nf
+			if gs < 2 {
+				continue
+			}
+			strat := DefaultRbIOWithGroup(gs)
+			r, err := runCheckpoint(o, np, strat, false)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig8Row{NP: np, NF: nf, GBps: GB(r.Agg.Bandwidth())})
+		}
+	}
+	return rows, nil
+}
+
+// Fig8Table renders the sweep.
+func Fig8Table(rows []Fig8Row) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprint(r.NP), fmt.Sprint(r.NF), fmt.Sprintf("%.2f", r.GBps),
+		})
+	}
+	return FormatTable([]string{"np", "nf (=ng)", "bandwidth (GB/s)"}, out)
+}
+
+// TableIRow is one row of the paper's Table I: perceived write performance.
+type TableIRow struct {
+	NP            int
+	SendCycles    float64 // CPU cycles a worker spends per field Isend
+	PerceivedTBps float64 // perceived bandwidth, TB/s
+}
+
+// TableI measures rbIO's perceived write performance: how long the slowest
+// worker was occupied handing its data off, expressed in CPU cycles per
+// field send and as an aggregate perceived bandwidth.
+func TableI(o Options) ([]TableIRow, error) {
+	var rows []TableIRow
+	for _, np := range o.nps() {
+		r, err := runCheckpoint(o, np, DefaultRbIOWithGroup(64), false)
+		if err != nil {
+			return nil, err
+		}
+		// MaxPerceived sums the six per-field hand-offs of the slowest
+		// worker; the paper reports per-send cycles at 850 MHz.
+		perSend := r.Agg.MaxPerceived / 6
+		rows = append(rows, TableIRow{
+			NP:            np,
+			SendCycles:    perSend * 850e6,
+			PerceivedTBps: r.Agg.PerceivedBandwidth() / 1e12,
+		})
+	}
+	return rows, nil
+}
+
+// TableITable renders Table I.
+func TableITable(rows []TableIRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprint(r.NP),
+			fmt.Sprintf("%.0f", r.SendCycles),
+			fmt.Sprintf("%.0f", r.PerceivedTBps),
+		})
+	}
+	return FormatTable([]string{"# procs", "time (CPU cycles/send)", "perceived BW (TB/s)"}, out)
+}
+
+// DefaultRbIOWithGroup returns the paper's rbIO configuration (nf = ng,
+// buffered writers) with the given np:ng group size.
+func DefaultRbIOWithGroup(gs int) ckpt.Strategy {
+	s := ckpt.DefaultRbIO()
+	s.GroupSize = gs
+	return s
+}

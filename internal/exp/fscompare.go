@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/bgp"
+	"repro/internal/ckpt"
+	"repro/internal/fsys"
+	"repro/internal/gpfs"
+	"repro/internal/mpi"
+	"repro/internal/nekcem"
+	"repro/internal/pvfs"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// FSRow is one (file system, strategy) measurement of the GPFS-versus-PVFS
+// comparison the paper wanted to run (Section V-C1) but could not measure
+// fairly on the real machine because PVFS ran with client caching disabled.
+// The simulation can hold everything else fixed, which is exactly what the
+// paper says made the hardware comparison "weak and pointless" to publish.
+type FSRow struct {
+	FS       string
+	Strategy string
+	NP       int
+	GBps     float64
+	StepSec  float64
+}
+
+// FSComparison runs the paper's two strongest strategies on both file
+// system models at the given processor count.
+func FSComparison(o Options, np int) ([]FSRow, error) {
+	strategies := []ckpt.Strategy{
+		ckpt.DefaultRbIO(),
+		ckpt.CoIO{NumFiles: np / 64, Hints: defaultHints()},
+		ckpt.OnePFPP{},
+	}
+	var rows []FSRow
+	for _, fsName := range []string{"gpfs", "pvfs"} {
+		for _, strat := range strategies {
+			k := sim.NewKernel()
+			m, err := bgp.New(k, xrand.New(o.seed()^uint64(np)*0x9e37), bgp.Intrepid(np))
+			if err != nil {
+				return nil, err
+			}
+			var fs fsys.System
+			if fsName == "gpfs" {
+				cfg := gpfs.DefaultConfig()
+				if o.Quiet {
+					cfg.NoiseProb = 0
+				}
+				fs, err = gpfs.New(m, cfg)
+			} else {
+				cfg := pvfs.DefaultConfig()
+				if o.Quiet {
+					cfg.NoiseProb = 0
+				}
+				fs, err = pvfs.New(m, cfg)
+			}
+			if err != nil {
+				return nil, err
+			}
+			w := mpi.NewWorld(m, mpi.DefaultConfig())
+			res, err := nekcem.Run(w, fs, nekcem.RunConfig{
+				Mesh:            nekcem.PaperMesh(np),
+				Strategy:        strat,
+				Dir:             "ckpt",
+				Steps:           1,
+				CheckpointEvery: 1,
+				Synthetic:       true,
+				SkipPresetup:    true,
+				PayloadFactor:   nekcem.PaperPayloadFactor,
+				Compute:         nekcem.DefaultComputeModel(),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s on %s: %w", strat.Name(), fsName, err)
+			}
+			c := res.Checkpoints[0]
+			rows = append(rows, FSRow{
+				FS: fsName, Strategy: strat.Name(), NP: np,
+				GBps: GB(c.Bandwidth()), StepSec: c.StepTime(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FSComparisonTable renders the comparison.
+func FSComparisonTable(rows []FSRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.FS, r.Strategy, fmt.Sprint(r.NP),
+			fmt.Sprintf("%.2f", r.GBps), fmt.Sprintf("%.1f", r.StepSec),
+		})
+	}
+	return FormatTable([]string{"file system", "strategy", "np", "GB/s", "step (s)"}, out)
+}

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/bgp"
+	"repro/internal/ckpt"
+	"repro/internal/gpfs"
+	"repro/internal/mpi"
+	"repro/internal/nekcem"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// MLRow is one multi-level checkpointing measurement: a production run that
+// checkpoints every nc steps, with the local RAM-disk level absorbing all
+// but every k-th checkpoint.
+type MLRow struct {
+	Strategy string
+	NP       int
+	Ckpts    int
+	TotalSec float64 // summed checkpoint step times
+	WallSec  float64 // end-to-end production time
+	PFSFiles int
+}
+
+// MultiLevelStudy compares plain rbIO (every checkpoint to the PFS) against
+// the SCR-style multi-level extension at several local:global cadences —
+// the "future leadership systems" scenario the paper's related-work section
+// sketches.
+func MultiLevelStudy(o Options, np int) ([]MLRow, error) {
+	const (
+		steps = 8
+		nc    = 2 // checkpoint every 2 steps -> 4 checkpoints
+	)
+	cases := []ckpt.Strategy{ckpt.DefaultRbIO()}
+	for _, k := range []int{2, 4} {
+		s := ckpt.DefaultMultiLevel()
+		s.GlobalEvery = k
+		cases = append(cases, s)
+	}
+	var rows []MLRow
+	for _, strat := range cases {
+		k := sim.NewKernel()
+		m, err := bgp.New(k, xrand.New(o.seed()^uint64(np)), bgp.Intrepid(np))
+		if err != nil {
+			return nil, err
+		}
+		gcfg := gpfs.DefaultConfig()
+		if o.Quiet {
+			gcfg.NoiseProb = 0
+		}
+		fs, err := gpfs.New(m, gcfg)
+		if err != nil {
+			return nil, err
+		}
+		w := mpi.NewWorld(m, mpi.DefaultConfig())
+		res, err := nekcem.Run(w, fs, nekcem.RunConfig{
+			Mesh:            nekcem.PaperMesh(np),
+			Strategy:        strat,
+			Dir:             "ckpt",
+			Steps:           steps,
+			CheckpointEvery: nc,
+			Synthetic:       true,
+			SkipPresetup:    true,
+			PayloadFactor:   nekcem.PaperPayloadFactor,
+			Compute:         nekcem.DefaultComputeModel(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, MLRow{
+			Strategy: strat.Name(),
+			NP:       np,
+			Ckpts:    len(res.Checkpoints),
+			TotalSec: res.TotalCheckpoint(),
+			WallSec:  res.Wall,
+			PFSFiles: fs.NumFiles(),
+		})
+	}
+	return rows, nil
+}
+
+// MultiLevelTable renders the study.
+func MultiLevelTable(rows []MLRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Strategy, fmt.Sprint(r.NP), fmt.Sprint(r.Ckpts),
+			fmt.Sprintf("%.1f", r.TotalSec), fmt.Sprintf("%.1f", r.WallSec),
+			fmt.Sprint(r.PFSFiles),
+		})
+	}
+	return FormatTable([]string{"strategy", "np", "ckpts", "ckpt time (s)", "wall (s)", "PFS files"}, out)
+}

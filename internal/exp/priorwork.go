@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/bgp"
+	"repro/internal/gpfs"
+	"repro/internal/mpi"
+	"repro/internal/nekcem"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// PriorWorkRow compares the paper's cited prior-work results (reference
+// [3]: rbIO on a 32K-processor Blue Gene/L — 2.3 GB/s raw write bandwidth
+// and 21 TB/s perceived) against the same strategy run on the BG/L machine
+// model.
+type PriorWorkRow struct {
+	Machine       string
+	NP            int
+	GBps          float64
+	PerceivedTBps float64
+}
+
+// bglGPFS returns BG/L-era storage constants: the ANL BG/L's SAN was an
+// order of magnitude smaller than Intrepid's (32 servers, slower client
+// streams).
+func bglGPFS() gpfs.Config {
+	cfg := gpfs.DefaultConfig()
+	cfg.NumServers = 32
+	cfg.ServerBW = 80e6
+	cfg.ClientStreamBW = 20e6
+	return cfg
+}
+
+// bglMPI returns BG/L-era messaging constants: roughly a third of BG/P's
+// memory bandwidth for the non-blocking send hand-off.
+func bglMPI() mpi.Config {
+	cfg := mpi.DefaultConfig()
+	cfg.LocalCopyBW = 2e9
+	return cfg
+}
+
+// PriorWorkBGL runs the paper's headline rbIO configuration at 32K ranks on
+// the Blue Gene/L model (and, for contrast, on Intrepid).
+func PriorWorkBGL(o Options) ([]PriorWorkRow, error) {
+	const np = 32768
+	var rows []PriorWorkRow
+	for _, machineName := range []string{"BG/L", "BG/P (Intrepid)"} {
+		k := sim.NewKernel()
+		var (
+			mcfg bgp.Config
+			gcfg gpfs.Config
+			wcfg mpi.Config
+		)
+		if machineName == "BG/L" {
+			mcfg, gcfg, wcfg = bgp.BlueGeneL(np), bglGPFS(), bglMPI()
+		} else {
+			mcfg, gcfg, wcfg = bgp.Intrepid(np), gpfs.DefaultConfig(), mpi.DefaultConfig()
+		}
+		if o.Quiet {
+			gcfg.NoiseProb = 0
+		}
+		m, err := bgp.New(k, xrand.New(o.seed()), mcfg)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := gpfs.New(m, gcfg)
+		if err != nil {
+			return nil, err
+		}
+		w := mpi.NewWorld(m, wcfg)
+		res, err := nekcem.Run(w, fs, nekcem.RunConfig{
+			Mesh:            nekcem.PaperMesh(np),
+			Strategy:        DefaultRbIOWithGroup(64),
+			Dir:             "ckpt",
+			Steps:           1,
+			CheckpointEvery: 1,
+			Synthetic:       true,
+			SkipPresetup:    true,
+			PayloadFactor:   nekcem.PaperPayloadFactor,
+			Compute:         nekcem.DefaultComputeModel(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		c := res.Checkpoints[0]
+		rows = append(rows, PriorWorkRow{
+			Machine:       machineName,
+			NP:            np,
+			GBps:          GB(c.Bandwidth()),
+			PerceivedTBps: c.PerceivedBandwidth() / 1e12,
+		})
+	}
+	return rows, nil
+}
+
+// PriorWorkTable renders the comparison.
+func PriorWorkTable(rows []PriorWorkRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Machine, fmt.Sprint(r.NP),
+			fmt.Sprintf("%.2f", r.GBps), fmt.Sprintf("%.0f", r.PerceivedTBps),
+		})
+	}
+	return FormatTable([]string{"machine", "np", "write (GB/s)", "perceived (TB/s)"}, out)
+}

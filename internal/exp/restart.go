@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/bgp"
+	"repro/internal/ckpt"
+	"repro/internal/gpfs"
+	"repro/internal/mpi"
+	"repro/internal/nekcem"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// RestartRow is one restart-path measurement: how long a job takes to read
+// a checkpoint back, per strategy layout. The paper motivates
+// application-level checkpointing with restartability (Section II); this
+// experiment measures the read side the evaluation leaves implicit.
+type RestartRow struct {
+	Strategy   string
+	NP         int
+	WriteSec   float64
+	RestartSec float64
+}
+
+// RestartStudy writes one checkpoint per strategy and measures a fresh
+// job's collective restart from it at the given scale.
+func RestartStudy(o Options, np int) ([]RestartRow, error) {
+	strategies := []ckpt.Strategy{
+		ckpt.OnePFPP{},
+		ckpt.CoIO{NumFiles: np / 64, Hints: defaultHints()},
+		DefaultRbIOWithGroup(64),
+	}
+	var rows []RestartRow
+	for _, strat := range strategies {
+		k := sim.NewKernel()
+		m, err := bgp.New(k, xrand.New(o.seed()^uint64(np)), bgp.Intrepid(np))
+		if err != nil {
+			return nil, err
+		}
+		gcfg := gpfs.DefaultConfig()
+		if o.Quiet {
+			gcfg.NoiseProb = 0
+		}
+		fs, err := gpfs.New(m, gcfg)
+		if err != nil {
+			return nil, err
+		}
+
+		// Job 1 writes the checkpoint.
+		w1 := mpi.NewWorld(m, mpi.DefaultConfig())
+		res1, err := nekcem.Run(w1, fs, nekcem.RunConfig{
+			Mesh: nekcem.PaperMesh(np), Strategy: strat, Dir: "ckpt",
+			Steps: 1, CheckpointEvery: 1, Synthetic: true, SkipPresetup: true,
+			PayloadFactor: nekcem.PaperPayloadFactor, Compute: nekcem.DefaultComputeModel(),
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Job 2 restarts from it; its presetup-free wall time up to restore
+		// completion is the restart cost.
+		w2 := mpi.NewWorld(m, mpi.DefaultConfig())
+		t0 := k.Now()
+		res2, err := nekcem.Run(w2, fs, nekcem.RunConfig{
+			Mesh: nekcem.PaperMesh(np), Strategy: strat, Dir: "ckpt",
+			Steps: 0, RestartStep: 1, Synthetic: true, SkipPresetup: true,
+			PayloadFactor: nekcem.PaperPayloadFactor, Compute: nekcem.DefaultComputeModel(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !res2.Restored {
+			return nil, fmt.Errorf("exp: restart with %s did not restore", strat.Name())
+		}
+		rows = append(rows, RestartRow{
+			Strategy:   strat.Name(),
+			NP:         np,
+			WriteSec:   res1.Checkpoints[0].StepTime(),
+			RestartSec: res2.Wall - t0,
+		})
+	}
+	return rows, nil
+}
+
+// RestartTable renders the study.
+func RestartTable(rows []RestartRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Strategy, fmt.Sprint(r.NP),
+			fmt.Sprintf("%.1f", r.WriteSec), fmt.Sprintf("%.1f", r.RestartSec),
+		})
+	}
+	return FormatTable([]string{"strategy", "np", "write (s)", "restart read (s)"}, out)
+}
+
+// AblateBlockSize sweeps the GPFS block size (lock and striping
+// granularity) for the rbIO headline configuration — a file-system design
+// knob the paper's tuning discussion (Section V-B) implies but could not
+// vary on the production machine.
+func AblateBlockSize(o Options, np int) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, bs := range []int64{1 << 20, 4 << 20, 16 << 20} {
+		r, err := runWith(o, np, ckpt.DefaultRbIO(), func(c *gpfs.Config) { c.BlockSize = bs })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Ablation: "GPFS block size", Variant: fmt.Sprintf("%d MiB", bs>>20), NP: np,
+			GBps: GB(r.Agg.Bandwidth()), StepSec: r.Agg.StepTime(),
+			Extra: fmt.Sprintf("%d token grants", r.FSStats.TokenGrants),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,271 @@
+// Package fabric models the data-movement fabrics of a Blue Gene/P system:
+// the 3-D torus between compute nodes, the per-pset collective (tree)
+// network that funnels I/O to the I/O nodes, and the 10-Gigabit Ethernet
+// between I/O nodes and file servers.
+//
+// All fabrics use the same contention model: a transmission reserves each
+// shared channel FIFO. A channel remembers when it next becomes free; a
+// transfer arriving earlier waits. Torus messages are routed
+// dimension-ordered and use a virtual-cut-through approximation — the head
+// of the message pays per-hop latency and queueing on every link of the
+// route, while the body's serialization time is charged once (at the
+// bottleneck) and recorded as occupancy on every traversed link.
+//
+// The model is arithmetic rather than event-per-hop: callers obtain the
+// arrival time and sleep until it. That keeps 65,536-rank simulations at a
+// handful of events per message.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// Pipe is a single shared FIFO channel with fixed bandwidth and per-transfer
+// latency: a tree-network uplink, an Ethernet NIC, a storage server port.
+type Pipe struct {
+	Name    string
+	Latency float64 // seconds added to every transfer
+	BW      float64 // bytes per second
+
+	nextFree float64
+	busy     float64 // cumulative seconds spent transmitting
+	bytes    int64   // cumulative bytes carried
+}
+
+// NewPipe returns a pipe with the given latency (s) and bandwidth (B/s).
+func NewPipe(name string, latency, bw float64) *Pipe {
+	if bw <= 0 {
+		panic(fmt.Sprintf("fabric: pipe %q with non-positive bandwidth", name))
+	}
+	return &Pipe{Name: name, Latency: latency, BW: bw}
+}
+
+// Transfer reserves the pipe for size bytes starting no earlier than now and
+// returns when the transfer begins and completes. The caller is responsible
+// for sleeping until end.
+func (p *Pipe) Transfer(now float64, size int64) (start, end float64) {
+	start = now + p.Latency
+	if p.nextFree > start {
+		start = p.nextFree
+	}
+	dur := float64(size) / p.BW
+	end = start + dur
+	p.nextFree = end
+	p.busy += dur
+	p.bytes += size
+	return start, end
+}
+
+// TransferExpress models a small transfer that interleaves with bulk
+// traffic at packet granularity instead of queueing behind whole messages
+// (control traffic, headers). It charges latency plus serialization and
+// records the bytes, but neither waits for nor advances the pipe's
+// next-free time.
+func (p *Pipe) TransferExpress(now float64, size int64) (start, end float64) {
+	start = now + p.Latency
+	dur := float64(size) / p.BW
+	p.busy += dur
+	p.bytes += size
+	return start, start + dur
+}
+
+// BusyTime returns the cumulative transmission time carried by the pipe.
+func (p *Pipe) BusyTime() float64 { return p.busy }
+
+// Bytes returns the cumulative bytes carried by the pipe.
+func (p *Pipe) Bytes() int64 { return p.bytes }
+
+// NextFree returns the earliest time a new transfer could begin serializing.
+func (p *Pipe) NextFree() float64 { return p.nextFree }
+
+// TorusConfig holds the physical parameters of the torus network.
+type TorusConfig struct {
+	LinkBW     float64 // bytes/s per direction per link (BG/P: 425 MB/s)
+	HopLatency float64 // per-hop router latency in seconds
+	InjectBW   float64 // node DMA injection bandwidth, bytes/s
+	InjectLat  float64 // software send overhead in seconds
+}
+
+// DefaultTorusConfig returns Blue Gene/P torus parameters: 425 MB/s per link
+// direction, ~100ns per hop, and DMA injection near memory speed.
+func DefaultTorusConfig() TorusConfig {
+	return TorusConfig{
+		LinkBW:     425e6,
+		HopLatency: 100e-9,
+		InjectBW:   3.4e9,
+		InjectLat:  2e-6,
+	}
+}
+
+// Torus is the 3-D torus interconnect with per-directed-link contention
+// state.
+type Torus struct {
+	Topo topo.Torus
+	cfg  TorusConfig
+
+	linkFree   []float64 // per directed link: time it next becomes free
+	injectFree []float64 // per node: injection DMA next free
+	linkBusy   []float64 // per directed link: cumulative occupancy
+}
+
+// NewTorus builds the torus fabric over the given topology.
+func NewTorus(t topo.Torus, cfg TorusConfig) *Torus {
+	return &Torus{
+		Topo:       t,
+		cfg:        cfg,
+		linkFree:   make([]float64, t.NumLinks()),
+		injectFree: make([]float64, t.Nodes()),
+		linkBusy:   make([]float64, t.NumLinks()),
+	}
+}
+
+// Config returns the torus physical parameters.
+func (tn *Torus) Config() TorusConfig { return tn.cfg }
+
+// Inject models the sender-side cost of handing size bytes to the torus DMA
+// from node src starting at now. It returns when the local send completes —
+// the moment a non-blocking send's buffer is reusable and MPI_Isend-style
+// calls are "perceived" as done by the application.
+func (tn *Torus) Inject(now float64, src int, size int64) (injectDone float64) {
+	start := now + tn.cfg.InjectLat
+	if tn.injectFree[src] > start {
+		start = tn.injectFree[src]
+	}
+	done := start + float64(size)/tn.cfg.InjectBW
+	tn.injectFree[src] = done
+	return done
+}
+
+// Transfer routes size bytes from node src to node dst starting at the given
+// injection-complete time and returns the arrival time at dst. Transfers
+// between a node and itself pay only injection (handled by the caller) and a
+// single hop latency for the local loopback.
+func (tn *Torus) Transfer(start float64, src, dst int, size int64) (arrival float64) {
+	if src == dst {
+		return start + tn.cfg.HopLatency
+	}
+	route := tn.Topo.Route(src, dst)
+	head := start
+	bottleneck := tn.cfg.LinkBW
+	// Head flit traverses each link, queueing behind earlier messages.
+	for _, h := range route {
+		idx := tn.Topo.LinkIndex(h)
+		if tn.linkFree[idx] > head {
+			head = tn.linkFree[idx]
+		}
+		head += tn.cfg.HopLatency
+	}
+	ser := float64(size) / bottleneck
+	arrival = head + ser
+	// The body occupies every traversed link for its serialization time.
+	for _, h := range route {
+		idx := tn.Topo.LinkIndex(h)
+		tn.linkFree[idx] = arrival
+		tn.linkBusy[idx] += ser
+	}
+	return arrival
+}
+
+// MaxLinkBusy returns the highest cumulative occupancy across all links,
+// a congestion diagnostic.
+func (tn *Torus) MaxLinkBusy() float64 {
+	max := 0.0
+	for _, b := range tn.linkBusy {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// TreeConfig holds the collective-network parameters.
+type TreeConfig struct {
+	BW      float64 // per-pset tree bandwidth into the ION, bytes/s
+	Latency float64 // tree traversal latency, seconds
+}
+
+// DefaultTreeConfig returns BG/P collective network parameters (~850 MB/s
+// per tree link; the link into the ION is the pset-wide funnel).
+func DefaultTreeConfig() TreeConfig {
+	return TreeConfig{BW: 850e6, Latency: 4e-6}
+}
+
+// Tree is the per-pset collective network: one shared funnel pipe per pset,
+// since all compute nodes of a pset reach their ION over the same tree link.
+type Tree struct {
+	cfg   TreeConfig
+	psets []*Pipe
+}
+
+// NewTree builds tree fabrics for n psets.
+func NewTree(n int, cfg TreeConfig) *Tree {
+	t := &Tree{cfg: cfg, psets: make([]*Pipe, n)}
+	for i := range t.psets {
+		t.psets[i] = NewPipe(fmt.Sprintf("tree/pset%d", i), cfg.Latency, cfg.BW)
+	}
+	return t
+}
+
+// Pset returns the funnel pipe of the given pset.
+func (t *Tree) Pset(i int) *Pipe { return t.psets[i] }
+
+// EthernetConfig holds the ION-to-storage network parameters.
+type EthernetConfig struct {
+	IONBw   float64 // per-ION 10GbE bandwidth, bytes/s
+	IONLat  float64 // per-transfer latency
+	CoreBW  float64 // aggregate switch-core bandwidth, bytes/s
+	CoreLat float64
+}
+
+// DefaultEthernetConfig returns Intrepid-like parameters: 10 GbE per ION and
+// a switching core comfortably above the storage system's 47 GB/s write peak.
+func DefaultEthernetConfig() EthernetConfig {
+	return EthernetConfig{
+		IONBw:   1.25e9,
+		IONLat:  30e-6,
+		CoreBW:  64e9,
+		CoreLat: 10e-6,
+	}
+}
+
+// Ethernet models ION NICs plus the shared switching core between IONs and
+// the file servers.
+type Ethernet struct {
+	cfg  EthernetConfig
+	nics []*Pipe
+	core *Pipe
+}
+
+// NewEthernet builds the Ethernet fabric for n IONs.
+func NewEthernet(n int, cfg EthernetConfig) *Ethernet {
+	e := &Ethernet{
+		cfg:  cfg,
+		nics: make([]*Pipe, n),
+		core: NewPipe("eth/core", cfg.CoreLat, cfg.CoreBW),
+	}
+	for i := range e.nics {
+		e.nics[i] = NewPipe(fmt.Sprintf("eth/ion%d", i), cfg.IONLat, cfg.IONBw)
+	}
+	return e
+}
+
+// Transfer moves size bytes from ION ion through its NIC and the switch core,
+// returning the arrival time at the server side.
+func (e *Ethernet) Transfer(now float64, ion int, size int64) (arrival float64) {
+	_, nicDone := e.nics[ion].Transfer(now, size)
+	// The core is much faster; the transfer pipelines through it, paying the
+	// core's queueing (if any) and latency on top.
+	_, coreDone := e.core.Transfer(nicDone-float64(size)/e.cfg.IONBw, size)
+	if coreDone < nicDone {
+		coreDone = nicDone + e.cfg.CoreLat
+	}
+	return coreDone
+}
+
+// NIC returns ION i's network interface pipe.
+func (e *Ethernet) NIC(i int) *Pipe { return e.nics[i] }
+
+// Core returns the shared switching-core pipe.
+func (e *Ethernet) Core() *Pipe { return e.core }

@@ -1,0 +1,61 @@
+// Package fsys defines the parallel file system interface the
+// checkpointing strategies and the MPI-IO layer write through. Intrepid
+// mounted two parallel file systems — GPFS and PVFS — and the paper
+// discusses both (Section V-C1); implementing against this interface lets
+// every strategy and experiment run unchanged on either model
+// (internal/gpfs and internal/pvfs).
+package fsys
+
+import (
+	"repro/internal/bgp"
+	"repro/internal/data"
+	"repro/internal/sim"
+)
+
+// System is a mounted parallel file system shared by the whole machine.
+type System interface {
+	// Name identifies the file system model ("gpfs", "pvfs").
+	Name() string
+	// Machine returns the machine the file system is mounted on.
+	Machine() *bgp.Machine
+	// BlockSize is the stripe/lock granularity relevant to I/O middleware
+	// alignment decisions.
+	BlockSize() int64
+
+	// Create makes a new file; it fails if the path exists.
+	Create(p *sim.Proc, rank int, path string) (Handle, error)
+	// Open opens an existing file.
+	Open(p *sim.Proc, rank int, path string) (Handle, error)
+
+	// Preload installs a pre-existing synthetic input file without charging
+	// simulation time.
+	Preload(path string, size int64)
+	// PreloadBytes installs a pre-existing input file with real contents
+	// (meshes, parameter files) without charging simulation time.
+	PreloadBytes(path string, contents []byte)
+	// Exists reports whether path exists (model introspection, no time).
+	Exists(path string) bool
+	// FileSize returns a file's size (model introspection, no time).
+	FileSize(path string) (int64, error)
+	// NumFiles reports how many files exist (model introspection, no time).
+	NumFiles() int
+}
+
+// Handle is an open file descriptor; it may be shared across ranks the way
+// MPI-IO shares collective handles.
+type Handle interface {
+	// WriteAt writes buf at off through the full storage path.
+	WriteAt(p *sim.Proc, rank int, off int64, buf data.Buf) error
+	// ReadAt reads n bytes at off; payloads are real where the file holds
+	// content and synthetic otherwise.
+	ReadAt(p *sim.Proc, rank int, off, n int64) (data.Buf, error)
+	// Sync blocks until the caller's outstanding write-behind commits are
+	// durable.
+	Sync(p *sim.Proc, rank int)
+	// Close syncs and releases the handle.
+	Close(p *sim.Proc, rank int) error
+	// Size returns the file's current size.
+	Size() int64
+	// Name returns the file's path.
+	Name() string
+}

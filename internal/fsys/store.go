@@ -1,0 +1,149 @@
+package fsys
+
+import (
+	"sort"
+
+	"repro/internal/data"
+)
+
+// Store holds a simulated file's contents: sparse runs of real bytes plus
+// the extents that were written synthetically (paper-scale payloads with no
+// backing storage). Both file system models share it; it tracks content
+// only — timing is the file system's business.
+type Store struct {
+	size  int64
+	real  []realSpan
+	synth []span
+}
+
+type span struct{ lo, hi int64 }
+
+type realSpan struct {
+	lo int64
+	b  []byte
+}
+
+// Size returns the file size (high-water mark of all writes).
+func (st *Store) Size() int64 { return st.size }
+
+// Write records a payload at off: real bytes are stored sparsely (copied),
+// synthetic payloads only record their extent.
+func (st *Store) Write(off int64, buf data.Buf) {
+	if end := off + buf.Len(); end > st.size {
+		st.size = end
+	}
+	if buf.Len() == 0 {
+		return
+	}
+	if !buf.Real() {
+		st.addSynth(off, off+buf.Len())
+		return
+	}
+	st.clearSynth(off, off+buf.Len())
+	st.insertReal(off, buf.Bytes())
+}
+
+// MarkSynthetic records [0, size) as synthetically written (preloaded input
+// files).
+func (st *Store) MarkSynthetic(size int64) {
+	st.size = size
+	if size > 0 {
+		st.synth = []span{{0, size}}
+	}
+}
+
+// Read assembles [off, off+n). Holes in real-written regions read back as
+// zeros (POSIX semantics); a read touching any synthetically-written range
+// returns a synthetic payload of the right length.
+func (st *Store) Read(off, n int64) data.Buf {
+	if st.anySynth(off, off+n) {
+		return data.Synthetic(n)
+	}
+	out := make([]byte, n)
+	for _, s := range st.real {
+		sHi := s.lo + int64(len(s.b))
+		if sHi <= off || s.lo >= off+n {
+			continue
+		}
+		lo := off
+		if s.lo > lo {
+			lo = s.lo
+		}
+		hi := off + n
+		if sHi < hi {
+			hi = sHi
+		}
+		copy(out[lo-off:hi-off], s.b[lo-s.lo:hi-s.lo])
+	}
+	return data.FromBytes(out)
+}
+
+// insertReal stores b at offset off, replacing any overlapping content.
+func (st *Store) insertReal(off int64, b []byte) {
+	hi := off + int64(len(b))
+	out := st.real[:0:0]
+	for _, s := range st.real {
+		sHi := s.lo + int64(len(s.b))
+		if sHi <= off || s.lo >= hi {
+			out = append(out, s)
+			continue
+		}
+		if s.lo < off {
+			out = append(out, realSpan{lo: s.lo, b: s.b[:off-s.lo]})
+		}
+		if sHi > hi {
+			out = append(out, realSpan{lo: hi, b: s.b[hi-s.lo:]})
+		}
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	out = append(out, realSpan{lo: off, b: cp})
+	sort.Slice(out, func(i, j int) bool { return out[i].lo < out[j].lo })
+	st.real = out
+}
+
+// addSynth marks [lo,hi) synthetic, merging adjacent/overlapping spans.
+func (st *Store) addSynth(lo, hi int64) {
+	spans := st.synth
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].hi >= lo })
+	j := i
+	for j < len(spans) && spans[j].lo <= hi {
+		if spans[j].lo < lo {
+			lo = spans[j].lo
+		}
+		if spans[j].hi > hi {
+			hi = spans[j].hi
+		}
+		j++
+	}
+	out := append(spans[:i:i], span{lo, hi})
+	st.synth = append(out, spans[j:]...)
+}
+
+// clearSynth removes [lo,hi) from the synthetic set (a real overwrite).
+func (st *Store) clearSynth(lo, hi int64) {
+	var out []span
+	for _, s := range st.synth {
+		if s.hi <= lo || s.lo >= hi {
+			out = append(out, s)
+			continue
+		}
+		if s.lo < lo {
+			out = append(out, span{s.lo, lo})
+		}
+		if s.hi > hi {
+			out = append(out, span{hi, s.hi})
+		}
+	}
+	st.synth = out
+}
+
+// anySynth reports whether [lo,hi) intersects a synthetic range.
+func (st *Store) anySynth(lo, hi int64) bool {
+	for _, s := range st.synth {
+		if s.lo < hi && s.hi > lo {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,143 @@
+package fsys
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/data"
+)
+
+func TestStoreRealRoundTrip(t *testing.T) {
+	var st Store
+	st.Write(100, data.FromBytes([]byte("hello")))
+	if st.Size() != 105 {
+		t.Fatalf("size %d", st.Size())
+	}
+	got := st.Read(100, 5)
+	if !got.Real() || string(got.Bytes()) != "hello" {
+		t.Fatalf("read %q", got.Bytes())
+	}
+}
+
+func TestStoreHolesAreZeros(t *testing.T) {
+	var st Store
+	st.Write(0, data.FromBytes([]byte{1, 1}))
+	st.Write(10, data.FromBytes([]byte{2, 2}))
+	got := st.Read(0, 12)
+	want := []byte{1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 2, 2}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("got %v", got.Bytes())
+	}
+}
+
+func TestStoreOverwrite(t *testing.T) {
+	var st Store
+	st.Write(0, data.FromBytes(bytes.Repeat([]byte{1}, 10)))
+	st.Write(3, data.FromBytes([]byte{9, 9}))
+	got := st.Read(0, 10).Bytes()
+	want := []byte{1, 1, 1, 9, 9, 1, 1, 1, 1, 1}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestStoreCopiesInput(t *testing.T) {
+	var st Store
+	src := []byte{1, 2, 3}
+	st.Write(0, data.FromBytes(src))
+	src[0] = 9
+	if st.Read(0, 1).Bytes()[0] != 1 {
+		t.Fatal("store aliased the caller's buffer")
+	}
+}
+
+func TestStoreSyntheticPoisonsReads(t *testing.T) {
+	var st Store
+	st.Write(0, data.FromBytes([]byte{1, 2, 3, 4}))
+	st.Write(2, data.Synthetic(4))
+	if st.Read(0, 4).Real() {
+		t.Fatal("read overlapping a synthetic range returned real bytes")
+	}
+	// The untouched prefix is still real.
+	if !st.Read(0, 2).Real() {
+		t.Fatal("prefix before the synthetic range poisoned")
+	}
+	// A real overwrite heals the range.
+	st.Write(2, data.FromBytes([]byte{7, 7, 7, 7}))
+	got := st.Read(0, 6)
+	if !got.Real() || !bytes.Equal(got.Bytes(), []byte{1, 2, 7, 7, 7, 7}) {
+		t.Fatalf("healed read %v real=%v", got.Bytes(), got.Real())
+	}
+}
+
+func TestStoreMarkSynthetic(t *testing.T) {
+	var st Store
+	st.MarkSynthetic(1000)
+	if st.Size() != 1000 {
+		t.Fatalf("size %d", st.Size())
+	}
+	if st.Read(10, 20).Real() {
+		t.Fatal("preloaded synthetic content read as real")
+	}
+}
+
+func TestStorePropertyMatchesShadowBuffer(t *testing.T) {
+	// Property: any interleaving of real writes behaves exactly like a flat
+	// byte buffer with zero-filled holes.
+	type op struct {
+		Off  uint16
+		Data []byte
+	}
+	f := func(ops []op) bool {
+		var st Store
+		shadow := make([]byte, 1<<17)
+		var max int64
+		for _, o := range ops {
+			if len(o.Data) == 0 {
+				continue
+			}
+			st.Write(int64(o.Off), data.FromBytes(o.Data))
+			copy(shadow[o.Off:], o.Data)
+			if e := int64(o.Off) + int64(len(o.Data)); e > max {
+				max = e
+			}
+		}
+		if max == 0 {
+			return st.Size() == 0
+		}
+		got := st.Read(0, max)
+		return got.Real() && bytes.Equal(got.Bytes(), shadow[:max]) && st.Size() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreSynthSpansMergeProperty(t *testing.T) {
+	// Property: after arbitrary synthetic writes, reads inside any written
+	// extent are synthetic and reads strictly outside remain real/zero.
+	f := func(offs []uint8) bool {
+		var st Store
+		covered := make([]bool, 600)
+		for _, o := range offs {
+			st.Write(int64(o), data.Synthetic(10))
+			for i := int(o); i < int(o)+10; i++ {
+				covered[i] = true
+			}
+		}
+		for probe := 0; probe < 300; probe += 7 {
+			if int64(probe)+1 > st.Size() {
+				break
+			}
+			got := st.Read(int64(probe), 1)
+			if got.Real() == covered[probe] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

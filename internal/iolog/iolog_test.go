@@ -1,0 +1,208 @@
+package iolog
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleLog() *Log {
+	l := &Log{}
+	l.Add(Record{Rank: 0, Op: OpCreate, Start: 0, End: 0.5})
+	l.Add(Record{Rank: 0, Op: OpWrite, Start: 0.5, End: 2.5, Bytes: 2000})
+	l.Add(Record{Rank: 1, Op: OpWrite, Start: 1.0, End: 2.0, Bytes: 1000})
+	l.Add(Record{Rank: 1, Op: OpClose, Start: 2.0, End: 2.2})
+	l.Add(Record{Rank: 2, Op: OpSend, Start: 0.1, End: 0.2, Bytes: 512})
+	return l
+}
+
+func TestPerRankTimeAllOps(t *testing.T) {
+	l := sampleLog()
+	times := l.PerRankTime(3)
+	want := []float64{2.5, 1.2, 0.1}
+	for i := range want {
+		if math.Abs(times[i]-want[i]) > 1e-12 {
+			t.Fatalf("rank %d time %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestPerRankTimeFiltered(t *testing.T) {
+	l := sampleLog()
+	times := l.PerRankTime(3, OpWrite)
+	if times[0] != 2.0 || times[1] != 1.0 || times[2] != 0 {
+		t.Fatalf("filtered times %v", times)
+	}
+}
+
+func TestActivityCountsConcurrentWriters(t *testing.T) {
+	l := sampleLog()
+	bins := l.Activity(1.0, OpWrite)
+	if len(bins) < 2 {
+		t.Fatalf("bins %v", bins)
+	}
+	// In bin [0.5, ...) starting at t=0.5... bins start at lo=0.5 (first
+	// write). Bin 0 = [0.5,1.5): both writers active (rank0 throughout,
+	// rank1 from 1.0). Bin 1 = [1.5,2.5): both active until 2.0.
+	if bins[0].Writers != 2 {
+		t.Fatalf("bin0 writers %d, want 2", bins[0].Writers)
+	}
+	if bins[1].Writers != 2 {
+		t.Fatalf("bin1 writers %d, want 2", bins[1].Writers)
+	}
+	var totalBytes int64
+	for _, b := range bins {
+		totalBytes += b.Bytes
+	}
+	// Proportional attribution conserves bytes up to rounding.
+	if totalBytes < 2900 || totalBytes > 3000 {
+		t.Fatalf("activity bytes %d, want ~3000", totalBytes)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	l := sampleLog()
+	s := l.Summarize()
+	if s.Ops != 5 {
+		t.Fatalf("ops %d", s.Ops)
+	}
+	if s.BytesWritten != 3000 {
+		t.Fatalf("bytes written %d", s.BytesWritten)
+	}
+	if s.FirstStart != 0 || s.LastEnd != 2.5 {
+		t.Fatalf("span [%v, %v]", s.FirstStart, s.LastEnd)
+	}
+	if math.Abs(s.Bandwidth-1200) > 1e-9 {
+		t.Fatalf("bandwidth %v, want 1200", s.Bandwidth)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	times := []float64{5, 1, 3, 2, 4}
+	qs := Quantiles(times, 0, 0.5, 1)
+	if qs[0] != 1 || qs[1] != 3 || qs[2] != 5 {
+		t.Fatalf("quantiles %v", qs)
+	}
+	empty := Quantiles(nil, 0.5)
+	if empty[0] != 0 {
+		t.Fatalf("empty quantile %v", empty)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != l.Len() {
+		t.Fatalf("round trip %d records, want %d", got.Len(), l.Len())
+	}
+	for i := range l.Records {
+		if got.Records[i] != l.Records[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, got.Records[i], l.Records[i])
+		}
+	}
+}
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Add(Record{}) // must not panic
+	if l.Len() != 0 {
+		t.Fatal("nil log has records")
+	}
+}
+
+func TestOpJSONNames(t *testing.T) {
+	for o := Op(0); o < numOps; o++ {
+		b, err := o.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Op
+		if err := back.UnmarshalJSON(b); err != nil {
+			t.Fatal(err)
+		}
+		if back != o {
+			t.Fatalf("op %v round-tripped to %v", o, back)
+		}
+	}
+	var bad Op
+	if err := bad.UnmarshalJSON([]byte(`"bogus"`)); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	l := sampleLog()
+	rep := l.BuildReport()
+	if rep.Ranks != 3 {
+		t.Fatalf("ranks %d", rep.Ranks)
+	}
+	byOp := map[Op]OpStats{}
+	for _, a := range rep.PerOp {
+		byOp[a.Op] = a
+	}
+	w := byOp[OpWrite]
+	if w.Count != 2 || w.Bytes != 3000 {
+		t.Fatalf("write stats %+v", w)
+	}
+	if w.MinSec != 1.0 || w.MaxSec != 2.0 || w.AvgSec != 1.5 {
+		t.Fatalf("write durations %+v", w)
+	}
+	if _, ok := byOp[OpRead]; ok {
+		t.Fatal("report invented reads")
+	}
+	s := rep.String()
+	if !strings.Contains(s, "write") || !strings.Contains(s, "ranks: 3") {
+		t.Fatalf("report rendering:\n%s", s)
+	}
+}
+
+func TestScatterRendersBands(t *testing.T) {
+	// Two bands: first half near zero, second half near 10.
+	values := make([]float64, 100)
+	for i := 50; i < 100; i++ {
+		values[i] = 10
+	}
+	s := Scatter(values, 20, 8)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 10 { // 8 rows + axis + caption
+		t.Fatalf("%d lines:\n%s", len(lines), s)
+	}
+	top, bottom := lines[0], lines[7]
+	// The top row should only have glyphs on the right half; the bottom row
+	// only on the left half.
+	topCells := strings.SplitN(top, "|", 2)[1]
+	bottomCells := strings.SplitN(bottom, "|", 2)[1]
+	if strings.TrimSpace(topCells[:10]) != "" || strings.TrimSpace(topCells[10:]) == "" {
+		t.Fatalf("top band wrong: %q", topCells)
+	}
+	if strings.TrimSpace(bottomCells[:10]) == "" || strings.TrimSpace(bottomCells[10:]) != "" {
+		t.Fatalf("bottom band wrong: %q", bottomCells)
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	if Scatter(nil, 10, 10) != "" {
+		t.Fatal("empty scatter should render nothing")
+	}
+	if Scatter([]float64{0, 0, 0}, 10, 5) == "" {
+		t.Fatal("all-zero scatter should still render a frame")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 9, 3, 7}
+	if Percentile(vals, 0) != 1 || Percentile(vals, 1) != 9 || Percentile(vals, 0.5) != 5 {
+		t.Fatal("percentiles wrong")
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile not zero")
+	}
+}

@@ -1,0 +1,716 @@
+// Package mpi implements a message-passing runtime over the simulated Blue
+// Gene/P: ranks as simulation processes, communicators, eager point-to-point
+// transfers routed over the torus fabric, and the log-P collective
+// algorithms (dissemination barrier, binomial broadcast/gather) that MPI
+// implementations use.
+//
+// Semantics follow the subset of MPI the paper's I/O strategies need:
+//
+//   - Isend is non-blocking and eager: it completes locally after the
+//     software overhead plus the time to hand the payload to the DMA — the
+//     "perceived" cost Table I measures — while the payload travels the
+//     torus and arrives at the receiver later.
+//   - Recv matches on (source, tag) within a communicator, in arrival
+//     order; AnySource receives the earliest-arrived matching message.
+//   - Communicators are split collectively, exactly like MPI_Comm_split.
+//
+// Each rank runs as one sim.Proc; all rank code executes under the strict
+// single-runnable handoff of the kernel, so runs are deterministic.
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bgp"
+	"repro/internal/data"
+	"repro/internal/sim"
+)
+
+// AnySource matches a message from any rank in Recv.
+const AnySource = -1
+
+// Config holds the software costs of the MPI layer.
+type Config struct {
+	SendOverhead float64 // fixed per-send software cost, seconds
+	RecvOverhead float64 // fixed per-receive software cost, seconds
+	// LocalCopyBW is the rate at which a non-blocking send hands its buffer
+	// to the messaging layer — the rate a worker "perceives". Calibrated so
+	// a 400 KB field send costs ~10^4 CPU cycles, per Table I.
+	LocalCopyBW float64
+}
+
+// DefaultConfig returns costs calibrated for BG/P's DCMF messaging layer.
+func DefaultConfig() Config {
+	return Config{
+		SendOverhead: 2e-6,
+		RecvOverhead: 1e-6,
+		LocalCopyBW:  24e9,
+	}
+}
+
+// World is an MPI job: one rank per core of the machine partition.
+type World struct {
+	M   *bgp.Machine
+	K   *sim.Kernel
+	cfg Config
+
+	ranks      []*Rank
+	world      *Comm
+	nextCommID int
+	splitReg   map[splitKey]*splitEntry
+	barriers   map[splitKey]*barrierState
+	values     map[splitKey]*valueEntry
+}
+
+type valueEntry struct {
+	v       any
+	readers int
+}
+
+type barrierState struct {
+	arrived int
+	done    sim.Signal
+}
+
+type splitKey struct {
+	parent int
+	seq    int
+}
+
+type splitEntry struct {
+	comms map[int64]*Comm // color -> communicator
+}
+
+// NewWorld creates the MPI runtime over a machine.
+func NewWorld(m *bgp.Machine, cfg Config) *World {
+	w := &World{
+		M:        m,
+		K:        m.K,
+		cfg:      cfg,
+		splitReg: make(map[splitKey]*splitEntry),
+		barriers: make(map[splitKey]*barrierState),
+		values:   make(map[splitKey]*valueEntry),
+	}
+	w.ranks = make([]*Rank, m.Cfg.Ranks)
+	members := make([]int, m.Cfg.Ranks)
+	for i := range w.ranks {
+		w.ranks[i] = &Rank{
+			w:          w,
+			id:         i,
+			node:       m.NodeOfRank(i),
+			collSeq:    make(map[int]int),
+			splitCount: make(map[int]int),
+		}
+		members[i] = i
+	}
+	w.world = &Comm{w: w, id: 0, members: members}
+	w.nextCommID = 1
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Comm returns the world communicator (MPI_COMM_WORLD).
+func (w *World) Comm() *Comm { return w.world }
+
+// Run spawns every rank executing body and drives the simulation to
+// completion. It returns the kernel's error (deadlock detection) if any.
+func (w *World) Run(body func(c *Comm, r *Rank)) error {
+	for _, r := range w.ranks {
+		r := r
+		r.proc = w.K.Go(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+			body(w.world, r)
+		})
+	}
+	return w.K.Run()
+}
+
+// Rank is one MPI process.
+type Rank struct {
+	w    *World
+	id   int // world rank
+	node int
+	proc *sim.Proc
+
+	inbox      []*message
+	want       *recvWant
+	collSeq    map[int]int // per-comm collective sequence numbers
+	splitCount map[int]int // per-comm count of splits performed
+
+	// SendBusyUntil tracks when this rank's messaging layer finishes
+	// injecting its queued sends; consecutive Isends serialize on it.
+	sendBusyUntil float64
+}
+
+// ID returns the world rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Proc returns the simulation process executing this rank.
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Now returns the current simulation time.
+func (r *Rank) Now() float64 { return r.proc.Now() }
+
+// World returns the runtime this rank belongs to.
+func (r *Rank) World() *World { return r.w }
+
+type message struct {
+	src  int // world rank
+	tag  int
+	comm int
+	buf  data.Buf
+}
+
+type recvWant struct {
+	src  int // world rank or AnySource
+	tag  int
+	comm int
+	got  *message
+}
+
+func (m *message) matches(want *recvWant) bool {
+	return m.comm == want.comm && m.tag == want.tag &&
+		(want.src == AnySource || want.src == m.src)
+}
+
+// deliver runs in kernel context when a message arrives at r.
+func (r *Rank) deliver(m *message) {
+	if r.want != nil && m.matches(r.want) {
+		r.want.got = m
+		r.want = nil
+		r.proc.Unpark()
+		return
+	}
+	r.inbox = append(r.inbox, m)
+}
+
+// Request represents an outstanding non-blocking send.
+type Request struct {
+	doneAt float64 // when the local buffer becomes reusable
+	start  float64
+}
+
+// Wait blocks until the operation completes locally.
+func (req *Request) Wait(p *sim.Proc) { p.SleepUntil(req.doneAt) }
+
+// LocalTime returns the duration the operation occupied the caller — the
+// "perceived" cost of the send.
+func (req *Request) LocalTime() float64 { return req.doneAt - req.start }
+
+// Comm is a communicator: an ordered group of world ranks.
+type Comm struct {
+	w       *World
+	id      int
+	members []int // world ranks; index == comm rank
+}
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.members) }
+
+// Rank returns r's rank within the communicator, or -1 if not a member.
+func (c *Comm) Rank(r *Rank) int {
+	// members is sorted by construction; binary search.
+	i := sort.SearchInts(c.members, r.id)
+	if i < len(c.members) && c.members[i] == r.id {
+		return i
+	}
+	return -1
+}
+
+// WorldRank translates a communicator rank to a world rank.
+func (c *Comm) WorldRank(commRank int) int { return c.members[commRank] }
+
+// Isend posts a non-blocking eager send of buf to communicator rank dst with
+// the given tag. It returns after the software overhead; the returned
+// request completes when the payload has been handed off locally. The
+// payload arrives at the destination after traversing the torus.
+func (c *Comm) Isend(r *Rank, dst, tag int, buf data.Buf) *Request {
+	if dst < 0 || dst >= len(c.members) {
+		panic(fmt.Sprintf("mpi: Isend to rank %d of %d-rank comm", dst, len(c.members)))
+	}
+	start := r.Now()
+	cfg := r.w.cfg
+	// The call itself costs the software overhead.
+	r.proc.Sleep(cfg.SendOverhead)
+	// Buffer handoff: consecutive sends from one rank serialize on the
+	// local messaging pipeline.
+	copyStart := r.Now()
+	if r.sendBusyUntil > copyStart {
+		copyStart = r.sendBusyUntil
+	}
+	localDone := copyStart + float64(buf.Len())/cfg.LocalCopyBW
+	r.sendBusyUntil = localDone
+
+	dstWorld := c.members[dst]
+	dstRank := r.w.ranks[dstWorld]
+	// Physical movement: DMA injection, then the torus.
+	injDone := r.w.M.Torus.Inject(localDone, r.node, buf.Len())
+	arrival := r.w.M.Torus.Transfer(injDone, r.node, dstRank.node, buf.Len())
+	msg := &message{src: r.id, tag: tag, comm: c.id, buf: buf}
+	r.w.K.At(arrival, func() { dstRank.deliver(msg) })
+	return &Request{doneAt: localDone, start: start}
+}
+
+// Send is a blocking send: Isend followed by Wait.
+func (c *Comm) Send(r *Rank, dst, tag int, buf data.Buf) {
+	c.Isend(r, dst, tag, buf).Wait(r.proc)
+}
+
+// RecvRequest is an outstanding non-blocking receive posted with Irecv.
+type RecvRequest struct {
+	c   *Comm
+	r   *Rank
+	src int // comm rank or AnySource
+	tag int
+}
+
+// Irecv posts a non-blocking receive. The simulation's eager transport
+// buffers arrivals in the rank's inbox, so posting early does not change
+// matching; Irecv exists so rank code can be written in MPI's
+// post-then-wait style. Complete it with Wait.
+func (c *Comm) Irecv(r *Rank, src, tag int) *RecvRequest {
+	if src != AnySource && (src < 0 || src >= len(c.members)) {
+		panic(fmt.Sprintf("mpi: Irecv from rank %d of %d-rank comm", src, len(c.members)))
+	}
+	return &RecvRequest{c: c, r: r, src: src, tag: tag}
+}
+
+// Wait completes the receive, blocking until the matching message arrives.
+func (rr *RecvRequest) Wait() (data.Buf, int) {
+	return rr.c.Recv(rr.r, rr.src, rr.tag)
+}
+
+// Recv blocks until a message with the given source (comm rank, or
+// AnySource) and tag arrives, and returns its payload and source comm rank.
+func (c *Comm) Recv(r *Rank, src, tag int) (data.Buf, int) {
+	if r.want != nil {
+		panic("mpi: rank has a receive already outstanding")
+	}
+	srcWorld := AnySource
+	if src != AnySource {
+		if src < 0 || src >= len(c.members) {
+			panic(fmt.Sprintf("mpi: Recv from rank %d of %d-rank comm", src, len(c.members)))
+		}
+		srcWorld = c.members[src]
+	}
+	want := &recvWant{src: srcWorld, tag: tag, comm: c.id}
+	var got *message
+	// First match against already-arrived messages, in arrival order.
+	for i, m := range r.inbox {
+		if m.matches(want) {
+			got = m
+			r.inbox = append(r.inbox[:i], r.inbox[i+1:]...)
+			break
+		}
+	}
+	if got == nil {
+		r.want = want
+		r.proc.Park()
+		got = want.got
+	}
+	cfg := r.w.cfg
+	r.proc.Sleep(cfg.RecvOverhead + float64(got.buf.Len())/cfg.LocalCopyBW)
+	return got.buf, c.rankOfWorld(got.src)
+}
+
+func (c *Comm) rankOfWorld(world int) int {
+	i := sort.SearchInts(c.members, world)
+	if i < len(c.members) && c.members[i] == world {
+		return i
+	}
+	return -1
+}
+
+// Internal tag space for collectives; user code should use tags below 1<<20.
+const collTag = 1 << 20
+
+func (c *Comm) nextCollTag(r *Rank) int {
+	seq := r.collSeq[c.id]
+	r.collSeq[c.id] = seq + 1
+	return collTag + seq
+}
+
+// HWBarrierLatency is the latency of Blue Gene/P's dedicated tree-based
+// barrier network (~1.3us once the last rank arrives).
+const HWBarrierLatency = 1.3e-6
+
+// Barrier blocks until every rank of the communicator has entered it. Blue
+// Gene/P has a dedicated tree-based collective network for barriers, so the
+// model charges a small constant once the last rank arrives instead of
+// simulating a software message pattern.
+func (c *Comm) Barrier(r *Rank) {
+	n := len(c.members)
+	if n == 1 {
+		return
+	}
+	c.mustRank(r)
+	seq := r.collSeq[c.id]
+	r.collSeq[c.id] = seq + 1
+	key := splitKey{parent: c.id, seq: seq}
+	st, ok := c.w.barriers[key]
+	if !ok {
+		st = &barrierState{}
+		c.w.barriers[key] = st
+	}
+	st.arrived++
+	if st.arrived == n {
+		delete(c.w.barriers, key) // complete; reclaim
+		st.done.Fire()
+	} else {
+		st.done.Wait(r.proc)
+	}
+	r.proc.Sleep(HWBarrierLatency)
+}
+
+// Bcast broadcasts buf from root to all ranks (binomial tree) and returns
+// each rank's copy.
+func (c *Comm) Bcast(r *Rank, root int, buf data.Buf) data.Buf {
+	n := len(c.members)
+	if n == 1 {
+		return buf
+	}
+	me := c.mustRank(r)
+	tag := c.nextCollTag(r)
+	vrank := (me - root + n) % n
+	// Receive from parent (unless root).
+	if vrank != 0 {
+		mask := 1
+		for mask < n {
+			if vrank&mask != 0 {
+				parent := ((vrank - mask) + root) % n
+				buf, _ = c.Recv(r, parent, tag)
+				break
+			}
+			mask <<= 1
+		}
+	}
+	// Forward to children.
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			break
+		}
+		mask <<= 1
+	}
+	for m := mask >> 1; m >= 1; m >>= 1 {
+		child := vrank + m
+		if child < n {
+			c.Send(r, (child+root)%n, tag, buf)
+		}
+	}
+	return buf
+}
+
+// BcastValue broadcasts an arbitrary Go value from root to every rank,
+// charging the communication cost of a small broadcast. It exists because a
+// real MPI program's ranks obtain shared objects (file handles, plans) from
+// the same library call, while in the simulation the object lives on one
+// rank; the registry is keyed by the communicator's synchronized collective
+// sequence number, so overlapping broadcasts cannot cross.
+func (c *Comm) BcastValue(r *Rank, root int, v any) any {
+	return c.BcastValueSized(r, root, v, 64)
+}
+
+// BcastValueSized is BcastValue charging the broadcast cost of a payload of
+// the given byte size. Receivers share the root's object: treat it as
+// read-only.
+func (c *Comm) BcastValueSized(r *Rank, root int, v any, size int64) any {
+	if len(c.members) == 1 {
+		return v
+	}
+	key := splitKey{parent: c.id, seq: r.collSeq[c.id]} // Bcast below consumes this seq
+	if c.mustRank(r) == root {
+		c.w.values[key] = &valueEntry{v: v}
+		c.Bcast(r, root, data.Synthetic(size))
+		return v
+	}
+	c.Bcast(r, root, data.Synthetic(size))
+	e := c.w.values[key]
+	out := e.v
+	e.readers++
+	if e.readers == len(c.members)-1 {
+		delete(c.w.values, key)
+	}
+	return out
+}
+
+// Shared returns a value computed once per (communicator, call-site
+// sequence). Rank code that derives an identical pure function of
+// collectively-known data on every rank (layout headers, file-domain
+// tables) calls Shared so the host computes it once; receivers alias the
+// same object and must treat it as read-only. No simulated time is charged:
+// in a real MPI program every rank computes its own copy concurrently, so
+// the wall-clock cost is that of one rank's computation, which the model
+// folds into the surrounding operation costs. Every rank of the
+// communicator must call Shared at the same point in its collective
+// sequence.
+func (c *Comm) Shared(r *Rank, compute func() any) any {
+	c.mustRank(r)
+	if len(c.members) == 1 {
+		return compute()
+	}
+	seq := r.collSeq[c.id]
+	r.collSeq[c.id] = seq + 1
+	key := splitKey{parent: c.id, seq: seq}
+	e, ok := c.w.values[key]
+	if !ok {
+		e = &valueEntry{v: compute()}
+		c.w.values[key] = e
+	}
+	e.readers++
+	if e.readers == len(c.members) {
+		delete(c.w.values, key)
+	}
+	return e.v
+}
+
+// GatherInt64 gathers one int64 from every rank to root (binomial tree).
+// Root receives the full slice indexed by comm rank; others receive nil.
+func (c *Comm) GatherInt64(r *Rank, root int, v int64) []int64 {
+	n := len(c.members)
+	me := c.mustRank(r)
+	tag := c.nextCollTag(r)
+	vrank := (me - root + n) % n
+	// Each node owns a region [vrank, vrank+span) of the virtual ranks.
+	vals := map[int]int64{vrank: v}
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			// Send everything owned to parent and stop.
+			parent := ((vrank - mask) + root) % n
+			c.Send(r, parent, tag, encodeInt64Map(vals))
+			return nil
+		}
+		// Receive from child vrank+mask if it exists.
+		if vrank+mask < n {
+			buf, _ := c.Recv(r, (vrank+mask+root)%n, tag)
+			for k, val := range decodeInt64Map(buf) {
+				vals[k] = val
+			}
+		}
+		mask <<= 1
+	}
+	out := make([]int64, n)
+	for k, val := range vals {
+		out[(k+root)%n] = val
+	}
+	return out
+}
+
+// AllgatherInt64 gathers one int64 from every rank to every rank. All ranks
+// receive the same backing slice (the broadcast is charged at full size but
+// the decoded object is shared): treat the result as read-only.
+func (c *Comm) AllgatherInt64(r *Rank, v int64) []int64 {
+	vals := c.GatherInt64(r, 0, v)
+	out := c.BcastValueSized(r, 0, vals, 8*int64(len(c.members)))
+	return out.([]int64)
+}
+
+// AllgatherBytes gathers each rank's byte slice to every rank, indexed by
+// comm rank (a variable-length allgatherv).
+func (c *Comm) AllgatherBytes(r *Rank, b []byte) [][]byte {
+	n := len(c.members)
+	me := c.mustRank(r)
+	tag := c.nextCollTag(r)
+	// Binomial gather to rank 0 of sparse (rank, bytes) sets.
+	vals := map[int][]byte{me: b}
+	mask := 1
+	gatherDone := false
+	for mask < n {
+		if me&mask != 0 {
+			c.Send(r, me-mask, tag, data.FromBytes(encodeBytesMap(vals)))
+			gatherDone = true
+			break
+		}
+		if me+mask < n {
+			buf, _ := c.Recv(r, me+mask, tag)
+			for k, v := range decodeBytesMap(buf.Bytes()) {
+				vals[k] = v
+			}
+		}
+		mask <<= 1
+	}
+	var out [][]byte
+	var total int64
+	if !gatherDone && me == 0 {
+		out = make([][]byte, n)
+		for k, v := range vals {
+			if k >= 0 && k < n {
+				out[k] = v
+				total += int64(len(v)) + 8
+			}
+		}
+	}
+	// Receivers share the root's slices; treat the result as read-only.
+	shared := c.BcastValueSized(r, 0, out, total)
+	return shared.([][]byte)
+}
+
+func encodeBytesMap(m map[int][]byte) []byte {
+	idx := make([]int, 0, len(m))
+	for k := range m {
+		idx = append(idx, k)
+	}
+	sort.Ints(idx)
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(idx)))
+	for _, k := range idx {
+		b = binary.LittleEndian.AppendUint32(b, uint32(k))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(m[k])))
+		b = append(b, m[k]...)
+	}
+	return b
+}
+
+func decodeBytesMap(b []byte) map[int][]byte {
+	m := map[int][]byte{}
+	if len(b) < 4 {
+		return m
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	p := b[4:]
+	for i := 0; i < n && len(p) >= 8; i++ {
+		k := int(binary.LittleEndian.Uint32(p))
+		l := int(binary.LittleEndian.Uint32(p[4:]))
+		p = p[8:]
+		if l > len(p) {
+			break
+		}
+		m[k] = p[:l]
+		p = p[l:]
+	}
+	return m
+}
+
+// ReduceOp is a binary reduction operator.
+type ReduceOp func(a, b float64) float64
+
+// Standard reduction operators.
+var (
+	Sum ReduceOp = func(a, b float64) float64 { return a + b }
+	Max ReduceOp = func(a, b float64) float64 { return math.Max(a, b) }
+	Min ReduceOp = func(a, b float64) float64 { return math.Min(a, b) }
+)
+
+// AllreduceFloat64 reduces v across all ranks with op and returns the result
+// on every rank (gather-reduce + broadcast).
+func (c *Comm) AllreduceFloat64(r *Rank, op ReduceOp, v float64) float64 {
+	vals := c.GatherInt64(r, 0, int64(math.Float64bits(v)))
+	var buf data.Buf
+	if c.mustRank(r) == 0 {
+		acc := math.Float64frombits(uint64(vals[0]))
+		for _, bits := range vals[1:] {
+			acc = op(acc, math.Float64frombits(uint64(bits)))
+		}
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(acc))
+		buf = data.FromBytes(b[:])
+	}
+	buf = c.Bcast(r, 0, buf)
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf.Bytes()))
+}
+
+// ExscanInt64 returns the exclusive prefix sum of v by comm rank: rank i
+// gets sum of v over ranks < i (0 on rank 0). Used to compute file offsets.
+func (c *Comm) ExscanInt64(r *Rank, v int64) int64 {
+	all := c.AllgatherInt64(r, v)
+	var sum int64
+	for i := 0; i < c.mustRank(r); i++ {
+		sum += all[i]
+	}
+	return sum
+}
+
+// Split partitions the communicator by color, ordering each new
+// communicator by (key, old rank), exactly like MPI_Comm_split. Every rank
+// must call it; ranks with the same color receive the same *Comm.
+func (c *Comm) Split(r *Rank, color int64, key int64) *Comm {
+	// The physical cost is an allgather of (color, key).
+	colors := c.AllgatherInt64(r, color)
+	keys := c.AllgatherInt64(r, key)
+
+	seq := r.splitCount[c.id]
+	r.splitCount[c.id] = seq + 1
+	sk := splitKey{parent: c.id, seq: seq}
+	entry, ok := c.w.splitReg[sk]
+	if !ok {
+		entry = &splitEntry{comms: make(map[int64]*Comm)}
+		// Build every child communicator deterministically: colors sorted.
+		type member struct {
+			key  int64
+			rank int // comm rank in parent
+		}
+		groups := make(map[int64][]member)
+		var order []int64
+		for i := range colors {
+			if _, seen := groups[colors[i]]; !seen {
+				order = append(order, colors[i])
+			}
+			groups[colors[i]] = append(groups[colors[i]], member{key: keys[i], rank: i})
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, col := range order {
+			ms := groups[col]
+			sort.Slice(ms, func(i, j int) bool {
+				if ms[i].key != ms[j].key {
+					return ms[i].key < ms[j].key
+				}
+				return ms[i].rank < ms[j].rank
+			})
+			members := make([]int, len(ms))
+			for i, m := range ms {
+				members[i] = c.members[m.rank]
+			}
+			// Deviation from MPI: the new communicator is always ordered by
+			// world rank regardless of key (Comm.Rank relies on sorted
+			// membership). The paper's strategies only split with
+			// key == parent rank, where the two orderings coincide.
+			sort.Ints(members)
+			entry.comms[col] = &Comm{w: c.w, id: c.w.nextCommID, members: members}
+			c.w.nextCommID++
+		}
+		c.w.splitReg[sk] = entry
+	}
+	return entry.comms[color]
+}
+
+func (c *Comm) mustRank(r *Rank) int {
+	me := c.Rank(r)
+	if me < 0 {
+		panic(fmt.Sprintf("mpi: rank %d is not a member of comm %d", r.id, c.id))
+	}
+	return me
+}
+
+// encodeInt64Map serializes sparse (index, value) pairs.
+func encodeInt64Map(m map[int]int64) data.Buf {
+	idx := make([]int, 0, len(m))
+	for k := range m {
+		idx = append(idx, k)
+	}
+	sort.Ints(idx)
+	b := make([]byte, 0, 16*len(m))
+	var tmp [8]byte
+	for _, k := range idx {
+		binary.LittleEndian.PutUint64(tmp[:], uint64(k))
+		b = append(b, tmp[:]...)
+		binary.LittleEndian.PutUint64(tmp[:], uint64(m[k]))
+		b = append(b, tmp[:]...)
+	}
+	return data.FromBytes(b)
+}
+
+func decodeInt64Map(buf data.Buf) map[int]int64 {
+	b := buf.Bytes()
+	m := make(map[int]int64, len(b)/16)
+	for i := 0; i+16 <= len(b); i += 16 {
+		k := int(binary.LittleEndian.Uint64(b[i:]))
+		v := int64(binary.LittleEndian.Uint64(b[i+8:]))
+		m[k] = v
+	}
+	return m
+}

@@ -1,0 +1,235 @@
+package nekcem
+
+import (
+	"fmt"
+	"math"
+)
+
+// AdvanceExp advances one time step with the Krylov exponential integrator
+// (Gallopoulos & Saad, reference [12] of the paper): the Maxwell curl
+// equations are linear, du/dt = A u, so the exact step is u(t+dt) =
+// exp(dt A) u(t), approximated in the m-dimensional Krylov subspace built by
+// the Arnoldi process:
+//
+//	u <- beta * V_m * exp(dt H_m) * e1,  beta = ||u||.
+//
+// m is the Krylov dimension (8-16 is typical). Synthetic states advance
+// their counters only, exactly like Advance.
+func (s *State) AdvanceExp(dt float64, m int) {
+	if s.synth {
+		s.step++
+		s.time += dt
+		return
+	}
+	if m < 1 {
+		panic(fmt.Sprintf("nekcem: Krylov dimension %d", m))
+	}
+	pts := len(s.Fields[0])
+	n := NumFields * pts
+
+	flat := func(v [NumFields][]float64) []float64 {
+		out := make([]float64, 0, n)
+		for f := range v {
+			out = append(out, v[f]...)
+		}
+		return out
+	}
+	u := flat(s.Fields)
+	beta := norm2(u)
+	if beta == 0 {
+		s.step++
+		s.time += dt
+		return
+	}
+
+	// matvec applies the curl operator to a flat vector.
+	rhs := make([][]float64, NumFields)
+	for f := range rhs {
+		rhs[f] = make([]float64, pts)
+	}
+	var in [NumFields][]float64
+	for f := range in {
+		in[f] = make([]float64, pts)
+	}
+	matvec := func(x []float64) []float64 {
+		for f := 0; f < NumFields; f++ {
+			copy(in[f], x[f*pts:(f+1)*pts])
+		}
+		s.curl(in, rhs)
+		out := make([]float64, 0, n)
+		for f := range rhs {
+			out = append(out, rhs[f]...)
+		}
+		return out
+	}
+
+	// Arnoldi: build V (m+1 basis vectors) and the (m+1) x m Hessenberg H.
+	V := make([][]float64, 1, m+1)
+	V[0] = scale(u, 1/beta)
+	H := make([][]float64, m+1)
+	for i := range H {
+		H[i] = make([]float64, m)
+	}
+	dim := m
+	for j := 0; j < m; j++ {
+		w := matvec(V[j])
+		for i := 0; i <= j; i++ {
+			h := dot(V[i], w)
+			H[i][j] = h
+			axpy(w, V[i], -h)
+		}
+		hn := norm2(w)
+		H[j+1][j] = hn
+		if hn < 1e-14*beta {
+			// Invariant subspace found; the approximation is exact at
+			// dimension j+1.
+			dim = j + 1
+			break
+		}
+		V = append(V, scale(w, 1/hn))
+	}
+
+	// Small dense exponential of dt * H[:dim][:dim].
+	Hs := make([][]float64, dim)
+	for i := range Hs {
+		Hs[i] = make([]float64, dim)
+		copy(Hs[i], H[i][:dim])
+	}
+	E := expm(Hs, dt)
+
+	// u_new = beta * V * E * e1.
+	out := make([]float64, n)
+	for j := 0; j < dim && j < len(V); j++ {
+		axpy(out, V[j], beta*E[j][0])
+	}
+	for f := 0; f < NumFields; f++ {
+		copy(s.Fields[f], out[f*pts:(f+1)*pts])
+	}
+	s.step++
+	s.time += dt
+}
+
+// expm computes exp(t*H) for a small dense matrix by scaling and squaring
+// with a truncated Taylor series — adequate for the Krylov Hessenberg sizes
+// used here (m <= ~64).
+func expm(H [][]float64, t float64) [][]float64 {
+	n := len(H)
+	// Scale so that the scaled norm is comfortably inside the Taylor
+	// radius.
+	norm := 0.0
+	for i := range H {
+		row := 0.0
+		for j := range H[i] {
+			row += math.Abs(H[i][j] * t)
+		}
+		if row > norm {
+			norm = row
+		}
+	}
+	squarings := 0
+	scaleF := t
+	for norm > 0.5 {
+		norm /= 2
+		scaleF /= 2
+		squarings++
+	}
+
+	// Taylor: E = sum_k (scale*H)^k / k!.
+	A := matScale(H, scaleF)
+	E := matIdentity(n)
+	term := matIdentity(n)
+	for k := 1; k <= 20; k++ {
+		term = matMul(term, A)
+		matScaleInPlace(term, 1/float64(k))
+		matAddInPlace(E, term)
+	}
+	for s := 0; s < squarings; s++ {
+		E = matMul(E, E)
+	}
+	return E
+}
+
+func matIdentity(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = 1
+	}
+	return m
+}
+
+func matScale(a [][]float64, s float64) [][]float64 {
+	out := make([][]float64, len(a))
+	for i := range a {
+		out[i] = make([]float64, len(a[i]))
+		for j := range a[i] {
+			out[i][j] = a[i][j] * s
+		}
+	}
+	return out
+}
+
+func matScaleInPlace(a [][]float64, s float64) {
+	for i := range a {
+		for j := range a[i] {
+			a[i][j] *= s
+		}
+	}
+}
+
+func matAddInPlace(dst, src [][]float64) {
+	for i := range dst {
+		for j := range dst[i] {
+			dst[i][j] += src[i][j]
+		}
+	}
+}
+
+func matMul(a, b [][]float64) [][]float64 {
+	n := len(a)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for k := 0; k < n; k++ {
+			aik := a[i][k]
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out[i][j] += aik * b[k][j]
+			}
+		}
+	}
+	return out
+}
+
+func norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func scale(v []float64, s float64) []float64 {
+	out := make([]float64, len(v))
+	for i := range v {
+		out[i] = v[i] * s
+	}
+	return out
+}
+
+// axpy: dst += s * v.
+func axpy(dst, v []float64, s float64) {
+	for i := range dst {
+		dst[i] += s * v[i]
+	}
+}

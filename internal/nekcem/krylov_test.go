@@ -1,0 +1,126 @@
+package nekcem
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpmDiagonal(t *testing.T) {
+	H := [][]float64{{1, 0}, {0, -2}}
+	E := expm(H, 0.5)
+	if math.Abs(E[0][0]-math.Exp(0.5)) > 1e-12 {
+		t.Fatalf("E[0][0] = %v, want exp(0.5)", E[0][0])
+	}
+	if math.Abs(E[1][1]-math.Exp(-1)) > 1e-12 {
+		t.Fatalf("E[1][1] = %v, want exp(-1)", E[1][1])
+	}
+	if math.Abs(E[0][1]) > 1e-14 || math.Abs(E[1][0]) > 1e-14 {
+		t.Fatal("off-diagonal nonzero for diagonal input")
+	}
+}
+
+func TestExpmNilpotent(t *testing.T) {
+	// exp(t*N) = I + t*N for N^2 = 0.
+	H := [][]float64{{0, 1}, {0, 0}}
+	E := expm(H, 3)
+	want := [][]float64{{1, 3}, {0, 1}}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(E[i][j]-want[i][j]) > 1e-12 {
+				t.Fatalf("E[%d][%d] = %v, want %v", i, j, E[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestExpmRotationIsOrthogonal(t *testing.T) {
+	// exp of a skew-symmetric matrix is a rotation: exp(t*[[0,-1],[1,0]])
+	// = [[cos t, -sin t],[sin t, cos t]]. Also exercises scaling-squaring
+	// with t well beyond the Taylor radius.
+	H := [][]float64{{0, -1}, {1, 0}}
+	const theta = 5.3
+	E := expm(H, theta)
+	if math.Abs(E[0][0]-math.Cos(theta)) > 1e-10 || math.Abs(E[1][0]-math.Sin(theta)) > 1e-10 {
+		t.Fatalf("rotation wrong: %v", E)
+	}
+}
+
+func TestAdvanceExpMatchesRK(t *testing.T) {
+	// The curl system is linear, so the Krylov exponential step and the RK4
+	// step must agree to the RK truncation error for a small dt.
+	mesh := Mesh{E: 2, N: 4}
+	dt := 2e-3
+
+	rk := NewState(mesh, 0, 1)
+	rk.InitWaveguide()
+	ex := NewState(mesh, 0, 1)
+	ex.InitWaveguide()
+
+	rk.Advance(dt)
+	ex.AdvanceExp(dt, 24)
+
+	num, den := 0.0, 0.0
+	for f := range rk.Fields {
+		for i := range rk.Fields[f] {
+			d := rk.Fields[f][i] - ex.Fields[f][i]
+			num += d * d
+			den += rk.Fields[f][i] * rk.Fields[f][i]
+		}
+	}
+	rel := math.Sqrt(num / den)
+	if rel > 1e-6 {
+		t.Fatalf("RK and exponential steps disagree: relative error %v", rel)
+	}
+	if ex.StepCount() != 1 || ex.Time() != dt {
+		t.Fatalf("counters %d/%v", ex.StepCount(), ex.Time())
+	}
+}
+
+func TestAdvanceExpEnergyStable(t *testing.T) {
+	// The skew-ish curl operator conserves energy under the exact
+	// exponential; the Krylov approximation must not blow up over many
+	// steps.
+	s := NewState(Mesh{E: 2, N: 3}, 0, 1)
+	s.InitWaveguide()
+	e0 := s.Energy()
+	for i := 0; i < 20; i++ {
+		s.AdvanceExp(1e-3, 12)
+	}
+	e1 := s.Energy()
+	if math.IsNaN(e1) || e1 > e0*1.2 {
+		t.Fatalf("energy unstable: %v -> %v", e0, e1)
+	}
+}
+
+func TestAdvanceExpZeroField(t *testing.T) {
+	s := NewState(Mesh{E: 1, N: 2}, 0, 1)
+	s.AdvanceExp(1e-3, 8)
+	if s.Energy() != 0 {
+		t.Fatal("zero field evolved")
+	}
+	if s.StepCount() != 1 {
+		t.Fatal("counters not advanced on zero field")
+	}
+}
+
+func TestAdvanceExpSynthetic(t *testing.T) {
+	s := NewSyntheticState(Mesh{E: 64, N: 15}, 0, 16)
+	s.AdvanceExp(1e-3, 8)
+	if s.StepCount() != 1 || s.Time() != 1e-3 {
+		t.Fatal("synthetic exponential step did not advance counters")
+	}
+}
+
+func TestAdvanceExpDeterministic(t *testing.T) {
+	run := func() float64 {
+		s := NewState(Mesh{E: 2, N: 4}, 1, 2)
+		s.InitWaveguide()
+		for i := 0; i < 3; i++ {
+			s.AdvanceExp(1e-3, 10)
+		}
+		return s.Energy()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("Krylov integrator not deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,282 @@
+package nekcem
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/data"
+	"repro/internal/fsys"
+	"repro/internal/iolog"
+	"repro/internal/mpi"
+)
+
+// RunConfig drives a production NekCEM simulation inside the machine model:
+// presetup (global mesh read), time stepping, and coordinated checkpoints.
+type RunConfig struct {
+	Mesh     Mesh
+	Strategy ckpt.Strategy
+	Dir      string // checkpoint directory
+
+	Steps           int // solver time steps
+	CheckpointEvery int // write a checkpoint every this many steps (0: never)
+	DT              float64
+
+	// Synthetic selects sizes-only field data (paper scale). Content mode
+	// runs the real SEDG kernel and enables bit-exact restart verification.
+	Synthetic bool
+
+	Compute ComputeModel
+
+	// SkipPresetup omits the global mesh read (useful when an experiment
+	// measures only checkpointing).
+	SkipPresetup bool
+
+	// PayloadFactor scales each component's checkpoint block
+	// (Mesh.CheckpointBytesFactor); paper-scale runs use PaperPayloadFactor
+	// so S matches the published 39/78/156 GB.
+	PayloadFactor int
+
+	// Log, when set, receives per-op records during checkpoints.
+	Log *iolog.Log
+
+	// RestartStep, when > 0, restores state from that checkpoint before
+	// stepping (content mode verifies sizes/field names too). Checkpoints
+	// are written at steps >= 1, so zero means a fresh start.
+	RestartStep int64
+}
+
+// RankCkpt is a rank's condensed view of the final checkpoint, retained for
+// the per-rank distribution figures.
+type RankCkpt struct {
+	Role      ckpt.Role
+	Blocked   float64
+	Perceived float64
+}
+
+// CkptAgg aggregates one checkpoint step across all ranks.
+type CkptAgg struct {
+	Step       int64
+	Start      float64 // earliest rank entry
+	MaxEnd     float64 // last rank back in the application
+	MaxDurable float64 // last byte durable on storage
+	MaxWorker  float64 // slowest worker's blocking (rbIO)
+	MaxWriter  float64 // slowest writer's blocking
+	Bytes      int64   // total bytes written
+
+	// Perceived-bandwidth ingredients (Table I): bytes shipped by workers
+	// and the slowest worker's total Isend hand-off time.
+	WorkerBytes  int64
+	MaxPerceived float64
+}
+
+// StepTime returns the checkpoint step's wall time (entry to durability),
+// the quantity in the paper's Figure 6.
+func (a *CkptAgg) StepTime() float64 {
+	end := a.MaxDurable
+	if a.MaxEnd > end {
+		end = a.MaxEnd
+	}
+	return end - a.Start
+}
+
+// Bandwidth returns the write bandwidth (bytes/s) the paper plots in
+// Figures 5 and 8: total data over the slowest participant's wall time.
+func (a *CkptAgg) Bandwidth() float64 {
+	t := a.StepTime()
+	if t <= 0 {
+		return 0
+	}
+	return float64(a.Bytes) / t
+}
+
+// PerceivedBandwidth returns Table I's perceived write speed: all worker
+// data over the slowest worker's hand-off time. Zero for strategies without
+// workers.
+func (a *CkptAgg) PerceivedBandwidth() float64 {
+	if a.MaxPerceived <= 0 {
+		return 0
+	}
+	return float64(a.WorkerBytes) / a.MaxPerceived
+}
+
+// RunResult summarizes a production run.
+type RunResult struct {
+	Wall        float64 // total simulated seconds
+	Presetup    float64 // presetup phase duration
+	ComputeStep float64 // modelled solver seconds per time step (max rank)
+	Checkpoints []*CkptAgg
+	PerRank     []RankCkpt // per-rank stats of the final checkpoint
+	Restored    bool
+}
+
+// TotalCheckpoint returns the summed checkpoint step times.
+func (rr *RunResult) TotalCheckpoint() float64 {
+	var t float64
+	for _, c := range rr.Checkpoints {
+		t += c.StepTime()
+	}
+	return t
+}
+
+// Run executes the production loop on every rank of the world and returns
+// the aggregated result. It must be called once per World.
+func Run(w *mpi.World, fs fsys.System, cfg RunConfig) (*RunResult, error) {
+	if cfg.Strategy == nil && cfg.CheckpointEvery > 0 {
+		return nil, fmt.Errorf("nekcem: checkpointing requested without a strategy")
+	}
+	if cfg.DT == 0 {
+		cfg.DT = 1e-3
+	}
+	np := w.Size()
+	res := &RunResult{PerRank: make([]RankCkpt, np)}
+	env := &ckpt.Env{FS: fs, Dir: cfg.Dir, Log: cfg.Log}
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	// Mesh input files pre-exist on the file system.
+	meshPath := cfg.Dir + "/waveguide.rea"
+	if !cfg.SkipPresetup {
+		fs.Preload(meshPath, cfg.Mesh.MeshFileBytes())
+	}
+
+	aggs := map[int64]*CkptAgg{}
+	var order []int64
+
+	runErr := w.Run(func(c *mpi.Comm, r *mpi.Rank) {
+		p := r.Proc()
+		var plan ckpt.Plan
+		if cfg.Strategy != nil {
+			var err error
+			plan, err = cfg.Strategy.Plan(c, r)
+			if err != nil {
+				fail(err)
+				return
+			}
+		}
+
+		// Presetup: rank 0 reads the global mesh, parses it, and broadcasts;
+		// every rank then builds its local element data.
+		if !cfg.SkipPresetup {
+			if c.Rank(r) == 0 {
+				h, err := fs.Open(p, r.ID(), meshPath)
+				if err != nil {
+					fail(err)
+					return
+				}
+				buf, err := h.ReadAt(p, r.ID(), 0, cfg.Mesh.MeshFileBytes())
+				if err != nil {
+					fail(err)
+					return
+				}
+				if err := h.Close(p, r.ID()); err != nil {
+					fail(err)
+					return
+				}
+				p.Sleep(45e-6 * float64(cfg.Mesh.E)) // global parse / genmap assignment
+				c.Bcast(r, 0, buf)
+			} else {
+				c.Bcast(r, 0, data.Buf{})
+			}
+			p.Sleep(2e-6 * float64(cfg.Mesh.ElemsOnRank(c.Rank(r), np))) // local setup
+			c.Barrier(r)
+			if c.Rank(r) == 0 {
+				res.Presetup = r.Now()
+			}
+		}
+
+		var st *State
+		if cfg.Synthetic {
+			st = NewSyntheticState(cfg.Mesh, c.Rank(r), np)
+		} else {
+			st = NewState(cfg.Mesh, c.Rank(r), np)
+			st.InitWaveguide()
+		}
+		st.PayloadFactor = cfg.PayloadFactor
+
+		if cfg.RestartStep > 0 && plan != nil {
+			cp, err := plan.Read(env, r, cfg.RestartStep)
+			if err != nil {
+				fail(fmt.Errorf("nekcem: restart: %w", err))
+				return
+			}
+			if err := st.Restore(cp); err != nil {
+				fail(err)
+				return
+			}
+			if c.Rank(r) == 0 {
+				res.Restored = true
+			}
+		}
+
+		stepTime := cfg.Compute.StepTime(st.Mesh.PointsOnRank(c.Rank(r), np))
+		if c.Rank(r) == 0 {
+			res.ComputeStep = stepTime
+		}
+
+		for step := 1; step <= cfg.Steps; step++ {
+			st.Advance(cfg.DT) // real kernel in content mode, counters otherwise
+			p.Sleep(stepTime)
+			if cfg.CheckpointEvery > 0 && step%cfg.CheckpointEvery == 0 {
+				cp := st.Checkpoint()
+				stats, err := plan.Write(env, r, cp)
+				if err != nil {
+					fail(err)
+					return
+				}
+				agg, ok := aggs[cp.Step]
+				if !ok {
+					agg = &CkptAgg{Step: cp.Step, Start: stats.Start}
+					aggs[cp.Step] = agg
+					order = append(order, cp.Step)
+				}
+				mergeStats(agg, stats)
+				res.PerRank[r.ID()] = RankCkpt{Role: stats.Role, Blocked: stats.Blocked(), Perceived: stats.Perceived}
+			}
+		}
+	})
+	// An application-level error usually strands the other ranks in their
+	// collectives, producing a deadlock report; the root cause is the app
+	// error, so report it first.
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	for _, stepIdx := range order {
+		res.Checkpoints = append(res.Checkpoints, aggs[stepIdx])
+	}
+	res.Wall = w.M.K.Now()
+	return res, nil
+}
+
+func mergeStats(agg *CkptAgg, s ckpt.Stats) {
+	if s.Start < agg.Start {
+		agg.Start = s.Start
+	}
+	if s.End > agg.MaxEnd {
+		agg.MaxEnd = s.End
+	}
+	if s.Durable > agg.MaxDurable {
+		agg.MaxDurable = s.Durable
+	}
+	agg.Bytes += s.Bytes
+	switch s.Role {
+	case ckpt.RoleWorker:
+		if s.Blocked() > agg.MaxWorker {
+			agg.MaxWorker = s.Blocked()
+		}
+		agg.WorkerBytes += s.Bytes
+		if s.Perceived > agg.MaxPerceived {
+			agg.MaxPerceived = s.Perceived
+		}
+	case ckpt.RoleWriter:
+		if s.Blocked() > agg.MaxWriter {
+			agg.MaxWriter = s.Blocked()
+		}
+	}
+}

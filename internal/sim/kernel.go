@@ -1,0 +1,170 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// The kernel owns a calendar of timestamped events and a virtual clock.
+// Model code runs either as plain event callbacks or as processes: ordinary
+// goroutines that advance virtual time with Sleep and block on Signals and
+// Resources. Exactly one goroutine — the kernel or a single process — runs at
+// any instant; control is handed off explicitly through per-process channels.
+// This strict handoff makes every simulation bit-reproducible regardless of
+// GOMAXPROCS, at the cost of running the model serially (which is what a
+// discrete-event simulation does anyway).
+//
+// Events at equal timestamps fire in scheduling order (a monotonically
+// increasing sequence number breaks ties), so the model never depends on heap
+// implementation details.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Kernel is a discrete-event simulation engine. The zero value is not usable;
+// call NewKernel.
+type Kernel struct {
+	now     float64
+	seq     uint64
+	heap    eventHeap
+	procs   int // live (spawned, not finished) processes
+	parked  map[*Proc]struct{}
+	running bool
+}
+
+type event struct {
+	t   float64
+	seq uint64
+	fn  func()
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{parked: make(map[*Proc]struct{})}
+}
+
+// Now returns the current simulation time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// At schedules fn to run at absolute simulation time t. Scheduling in the
+// past panics: the model has a causality bug.
+func (k *Kernel) At(t float64, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: scheduling event at NaN time")
+	}
+	k.seq++
+	k.heap.push(event{t: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (k *Kernel) After(d float64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.At(k.now+d, fn)
+}
+
+// DeadlockError reports processes still blocked when the event calendar
+// drained.
+type DeadlockError struct {
+	Procs []string // names of parked processes
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock: %d processes still parked (first: %s)",
+		len(e.Procs), e.Procs[0])
+}
+
+// Run executes events until the calendar is empty. It returns a
+// *DeadlockError if any process is still parked afterwards — that means the
+// model blocked a process on a condition nothing will ever fire.
+func (k *Kernel) Run() error {
+	if k.running {
+		panic("sim: Run called reentrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for len(k.heap) > 0 {
+		ev := k.heap.pop()
+		k.now = ev.t
+		ev.fn()
+	}
+	if len(k.parked) > 0 {
+		names := make([]string, 0, len(k.parked))
+		for p := range k.parked {
+			names = append(names, p.name)
+		}
+		sort.Strings(names)
+		return &DeadlockError{Procs: names}
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+func (k *Kernel) RunUntil(t float64) {
+	for len(k.heap) > 0 && k.heap[0].t <= t {
+		ev := k.heap.pop()
+		k.now = ev.t
+		ev.fn()
+	}
+	if t > k.now {
+		k.now = t
+	}
+}
+
+// Pending reports the number of events still scheduled.
+func (k *Kernel) Pending() int { return len(k.heap) }
+
+// eventHeap is a binary min-heap ordered by (t, seq). It is hand-rolled
+// rather than using container/heap to avoid interface boxing on the
+// simulator's hottest path.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{} // release closure for GC
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h).less(l, smallest) {
+			smallest = l
+		}
+		if r < n && (*h).less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}

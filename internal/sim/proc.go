@@ -1,0 +1,196 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulation process: a goroutine that advances virtual time with
+// Sleep and blocks on Signals/Resources with Park. The kernel and all
+// processes hand control off explicitly so that exactly one of them runs at
+// any moment.
+//
+// All Proc methods must be called from the process's own goroutine; all other
+// goroutines interact with a process only via Unpark (typically indirectly,
+// through Signal and Resource).
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{} // kernel -> proc handoff
+	yield  chan struct{} // proc -> kernel handoff
+	done   bool
+	parked bool
+}
+
+// Go spawns fn as a new process starting at the current simulation time.
+// fn runs entirely inside the simulation; when it returns the process ends.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	k.procs++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		p.k.procs--
+		p.yield <- struct{}{}
+	}()
+	k.After(0, func() { p.handoff() })
+	return p
+}
+
+// handoff transfers control from the kernel to the process until its next
+// yield point. Called only from kernel (event) context.
+func (p *Proc) handoff() {
+	if p.done {
+		panic("sim: resuming finished process " + p.name)
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// Name returns the process name given at spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulation time.
+func (p *Proc) Now() float64 { return p.k.now }
+
+// Sleep suspends the process for d seconds of simulation time.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	p.k.After(d, func() { p.handoff() })
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// SleepUntil suspends the process until absolute simulation time t. Times in
+// the past (or the present) return immediately without yielding.
+func (p *Proc) SleepUntil(t float64) {
+	if t <= p.k.now {
+		return
+	}
+	p.Sleep(t - p.k.now)
+}
+
+// Park suspends the process indefinitely until some other party calls
+// Unpark. The caller is responsible for having registered itself somewhere
+// (a Signal's or Resource's wait list) that will eventually unpark it; the
+// kernel reports a deadlock otherwise.
+func (p *Proc) Park() {
+	p.parked = true
+	p.k.parked[p] = struct{}{}
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Unpark schedules a parked process to resume at the current simulation
+// time. It panics if the process is not parked — that is always a
+// wait-list bookkeeping bug in the caller.
+func (p *Proc) Unpark() {
+	if !p.parked {
+		panic("sim: Unpark of non-parked process " + p.name)
+	}
+	p.parked = false
+	delete(p.k.parked, p)
+	p.k.After(0, func() { p.handoff() })
+}
+
+// Yield gives other events scheduled at the current instant a chance to run
+// before the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Signal is a broadcast condition: processes Wait on it and a later Fire
+// wakes all of them. Once fired, Wait returns immediately. A Signal must
+// only be used from inside one simulation.
+type Signal struct {
+	fired   bool
+	waiters []*Proc
+}
+
+// Wait blocks the process until the signal fires. Returns immediately if it
+// already has.
+func (s *Signal) Wait(p *Proc) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.Park()
+}
+
+// Fire wakes all waiters (in wait order) and makes future Waits return
+// immediately. Firing twice panics.
+func (s *Signal) Fire() {
+	if s.fired {
+		panic("sim: Signal fired twice")
+	}
+	s.fired = true
+	for _, p := range s.waiters {
+		p.Unpark()
+	}
+	s.waiters = nil
+}
+
+// Fired reports whether Fire has been called.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Resource is a FIFO resource with fixed capacity (e.g. a server with a
+// bounded number of service slots). Processes Acquire a unit, hold it for
+// however long they model service taking, and Release it.
+type Resource struct {
+	capacity int
+	inUse    int
+	waiters  []*Proc
+	maxQueue int // high-water mark of the wait queue, for diagnostics
+}
+
+// NewResource returns a resource with the given capacity (> 0).
+func NewResource(capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{capacity: capacity}
+}
+
+// Acquire takes one unit, blocking the process FIFO if none is free.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	if len(r.waiters) > r.maxQueue {
+		r.maxQueue = len(r.waiters)
+	}
+	p.Park()
+}
+
+// Release returns one unit, handing it directly to the longest-waiting
+// process if any.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		p := r.waiters[0]
+		copy(r.waiters, r.waiters[1:])
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		p.Unpark() // unit passes directly to p; inUse unchanged
+		return
+	}
+	if r.inUse == 0 {
+		panic("sim: Release of idle resource")
+	}
+	r.inUse--
+}
+
+// InUse reports the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of processes waiting.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// MaxQueue reports the highest number of simultaneous waiters observed.
+func (r *Resource) MaxQueue() int { return r.maxQueue }

@@ -1,0 +1,198 @@
+// Package topo models the 3-D torus interconnect geometry of a Blue Gene/P
+// partition: node coordinates, dimension-ordered routing, and hop distances.
+//
+// Blue Gene/P partitions are always full tori whose dimensions are powers of
+// two (a single midplane is 8x8x8 = 512 nodes; Intrepid's 40 racks form
+// larger tori). Each node has six bidirectional links, one per direction per
+// dimension.
+package topo
+
+import "fmt"
+
+// Coord is a node position on the torus.
+type Coord struct {
+	X, Y, Z int
+}
+
+// Dir identifies one of the six torus link directions leaving a node.
+type Dir int
+
+// The six torus directions. XPlus is toward increasing X (wrapping), etc.
+const (
+	XPlus Dir = iota
+	XMinus
+	YPlus
+	YMinus
+	ZPlus
+	ZMinus
+	NumDirs
+)
+
+func (d Dir) String() string {
+	switch d {
+	case XPlus:
+		return "X+"
+	case XMinus:
+		return "X-"
+	case YPlus:
+		return "Y+"
+	case YMinus:
+		return "Y-"
+	case ZPlus:
+		return "Z+"
+	case ZMinus:
+		return "Z-"
+	}
+	return fmt.Sprintf("Dir(%d)", int(d))
+}
+
+// Torus is a 3-D torus of Nx x Ny x Nz nodes.
+type Torus struct {
+	Nx, Ny, Nz int
+}
+
+// New returns a torus with the given dimensions. All dimensions must be
+// positive.
+func New(nx, ny, nz int) Torus {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		panic(fmt.Sprintf("topo: invalid torus dimensions %dx%dx%d", nx, ny, nz))
+	}
+	return Torus{Nx: nx, Ny: ny, Nz: nz}
+}
+
+// Dims returns balanced power-of-two-ish torus dimensions for n nodes.
+// n must be a product of the returned dimensions; it panics if n is not a
+// power of two (partitions on BG/P always are).
+func Dims(n int) Torus {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("topo: node count %d is not a positive power of two", n))
+	}
+	d := [3]int{1, 1, 1}
+	for i := 0; n > 1; i++ {
+		d[i%3] *= 2
+		n /= 2
+	}
+	// Largest dimension first is conventional (e.g. 16384 -> 32x32x16).
+	if d[0] < d[1] {
+		d[0], d[1] = d[1], d[0]
+	}
+	if d[1] < d[2] {
+		d[1], d[2] = d[2], d[1]
+	}
+	if d[0] < d[1] {
+		d[0], d[1] = d[1], d[0]
+	}
+	return New(d[0], d[1], d[2])
+}
+
+// Nodes returns the total node count.
+func (t Torus) Nodes() int { return t.Nx * t.Ny * t.Nz }
+
+// Coord maps a linear node id (row-major X fastest) to its coordinate.
+func (t Torus) Coord(id int) Coord {
+	if id < 0 || id >= t.Nodes() {
+		panic(fmt.Sprintf("topo: node id %d out of range [0,%d)", id, t.Nodes()))
+	}
+	return Coord{
+		X: id % t.Nx,
+		Y: (id / t.Nx) % t.Ny,
+		Z: id / (t.Nx * t.Ny),
+	}
+}
+
+// ID maps a coordinate back to its linear node id.
+func (t Torus) ID(c Coord) int {
+	if c.X < 0 || c.X >= t.Nx || c.Y < 0 || c.Y >= t.Ny || c.Z < 0 || c.Z >= t.Nz {
+		panic(fmt.Sprintf("topo: coordinate %+v outside %dx%dx%d torus", c, t.Nx, t.Ny, t.Nz))
+	}
+	return c.X + t.Nx*(c.Y+t.Ny*c.Z)
+}
+
+// step returns the signed hop count and direction to travel from a to b
+// along a single dimension of size n, taking the shorter way around the
+// wraparound.
+func step(a, b, n int) (hops int, forward bool) {
+	fwd := (b - a + n) % n
+	bwd := (a - b + n) % n
+	if fwd <= bwd {
+		return fwd, true
+	}
+	return bwd, false
+}
+
+// Distance returns the minimal hop count between two nodes.
+func (t Torus) Distance(a, b int) int {
+	ca, cb := t.Coord(a), t.Coord(b)
+	dx, _ := step(ca.X, cb.X, t.Nx)
+	dy, _ := step(ca.Y, cb.Y, t.Ny)
+	dz, _ := step(ca.Z, cb.Z, t.Nz)
+	return dx + dy + dz
+}
+
+// Hop identifies one directed link on the torus: the link leaving node From
+// in direction Dir.
+type Hop struct {
+	From int
+	Dir  Dir
+}
+
+// Route returns the dimension-ordered (X, then Y, then Z) minimal route from
+// a to b as the sequence of directed links traversed. Routing from a node to
+// itself returns an empty route.
+func (t Torus) Route(a, b int) []Hop {
+	ca, cb := t.Coord(a), t.Coord(b)
+	route := make([]Hop, 0, t.Distance(a, b))
+	cur := ca
+	walk := func(get func(Coord) int, set func(*Coord, int), n int, plus, minus Dir, target int) {
+		hops, fwd := step(get(cur), target, n)
+		for i := 0; i < hops; i++ {
+			d := plus
+			delta := 1
+			if !fwd {
+				d = minus
+				delta = n - 1
+			}
+			route = append(route, Hop{From: t.ID(cur), Dir: d})
+			set(&cur, (get(cur)+delta)%n)
+		}
+	}
+	walk(func(c Coord) int { return c.X }, func(c *Coord, v int) { c.X = v }, t.Nx, XPlus, XMinus, cb.X)
+	walk(func(c Coord) int { return c.Y }, func(c *Coord, v int) { c.Y = v }, t.Ny, YPlus, YMinus, cb.Y)
+	walk(func(c Coord) int { return c.Z }, func(c *Coord, v int) { c.Z = v }, t.Nz, ZPlus, ZMinus, cb.Z)
+	if t.ID(cur) != b {
+		panic("topo: route did not reach destination")
+	}
+	return route
+}
+
+// Neighbor returns the node reached by following one link from id in
+// direction d.
+func (t Torus) Neighbor(id int, d Dir) int {
+	c := t.Coord(id)
+	switch d {
+	case XPlus:
+		c.X = (c.X + 1) % t.Nx
+	case XMinus:
+		c.X = (c.X + t.Nx - 1) % t.Nx
+	case YPlus:
+		c.Y = (c.Y + 1) % t.Ny
+	case YMinus:
+		c.Y = (c.Y + t.Ny - 1) % t.Ny
+	case ZPlus:
+		c.Z = (c.Z + 1) % t.Nz
+	case ZMinus:
+		c.Z = (c.Z + t.Nz - 1) % t.Nz
+	default:
+		panic("topo: invalid direction")
+	}
+	return t.ID(c)
+}
+
+// LinkIndex returns a dense index for the directed link (node, dir),
+// suitable for indexing a flat slice of link state.
+func (t Torus) LinkIndex(h Hop) int {
+	return h.From*int(NumDirs) + int(h.Dir)
+}
+
+// NumLinks returns the number of directed links on the torus.
+func (t Torus) NumLinks() int { return t.Nodes() * int(NumDirs) }

@@ -1,0 +1,151 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordIDRoundTrip(t *testing.T) {
+	tor := New(8, 8, 8)
+	for id := 0; id < tor.Nodes(); id++ {
+		if got := tor.ID(tor.Coord(id)); got != id {
+			t.Fatalf("round trip failed: %d -> %+v -> %d", id, tor.Coord(id), got)
+		}
+	}
+}
+
+func TestDimsProducesRequestedCount(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64, 512, 4096, 16384, 65536} {
+		tor := Dims(n)
+		if tor.Nodes() != n {
+			t.Fatalf("Dims(%d) gave %dx%dx%d = %d nodes", n, tor.Nx, tor.Ny, tor.Nz, tor.Nodes())
+		}
+		// Balanced: largest dim at most 4x the smallest non-one dim count check
+		if tor.Nx < tor.Ny || tor.Ny < tor.Nz {
+			t.Fatalf("Dims(%d) not ordered: %dx%dx%d", n, tor.Nx, tor.Ny, tor.Nz)
+		}
+	}
+}
+
+func TestDimsRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dims(12) did not panic")
+		}
+	}()
+	Dims(12)
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	tor := New(4, 8, 2)
+	f := func(a, b uint16) bool {
+		ai, bi := int(a)%tor.Nodes(), int(b)%tor.Nodes()
+		return tor.Distance(ai, bi) == tor.Distance(bi, ai)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceZeroToSelf(t *testing.T) {
+	tor := New(8, 8, 8)
+	for id := 0; id < tor.Nodes(); id += 37 {
+		if d := tor.Distance(id, id); d != 0 {
+			t.Fatalf("Distance(%d,%d) = %d", id, id, d)
+		}
+	}
+}
+
+func TestDistanceUsesWraparound(t *testing.T) {
+	tor := New(8, 1, 1)
+	// 0 -> 7 is one hop backwards around the wrap, not seven forward.
+	if d := tor.Distance(0, 7); d != 1 {
+		t.Fatalf("wraparound distance = %d, want 1", d)
+	}
+	if d := tor.Distance(0, 4); d != 4 {
+		t.Fatalf("half-way distance = %d, want 4", d)
+	}
+}
+
+func TestRouteLengthEqualsDistance(t *testing.T) {
+	tor := New(4, 4, 4)
+	f := func(a, b uint16) bool {
+		ai, bi := int(a)%tor.Nodes(), int(b)%tor.Nodes()
+		return len(tor.Route(ai, bi)) == tor.Distance(ai, bi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteFollowsLinks(t *testing.T) {
+	// Property: replaying a route hop by hop via Neighbor lands on the
+	// destination, and each hop starts where the previous ended.
+	tor := New(8, 4, 2)
+	f := func(a, b uint16) bool {
+		ai, bi := int(a)%tor.Nodes(), int(b)%tor.Nodes()
+		cur := ai
+		for _, h := range tor.Route(ai, bi) {
+			if h.From != cur {
+				return false
+			}
+			cur = tor.Neighbor(cur, h.Dir)
+		}
+		return cur == bi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborInverse(t *testing.T) {
+	tor := New(4, 4, 4)
+	inverse := map[Dir]Dir{
+		XPlus: XMinus, XMinus: XPlus,
+		YPlus: YMinus, YMinus: YPlus,
+		ZPlus: ZMinus, ZMinus: ZPlus,
+	}
+	for id := 0; id < tor.Nodes(); id++ {
+		for d := Dir(0); d < NumDirs; d++ {
+			n := tor.Neighbor(id, d)
+			if back := tor.Neighbor(n, inverse[d]); back != id {
+				t.Fatalf("neighbor not invertible: %d --%v--> %d --%v--> %d", id, d, n, inverse[d], back)
+			}
+		}
+	}
+}
+
+func TestLinkIndexDense(t *testing.T) {
+	tor := New(4, 2, 2)
+	seen := make(map[int]bool)
+	for id := 0; id < tor.Nodes(); id++ {
+		for d := Dir(0); d < NumDirs; d++ {
+			idx := tor.LinkIndex(Hop{From: id, Dir: d})
+			if idx < 0 || idx >= tor.NumLinks() {
+				t.Fatalf("link index %d out of range", idx)
+			}
+			if seen[idx] {
+				t.Fatalf("duplicate link index %d", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != tor.NumLinks() {
+		t.Fatalf("indexed %d links, want %d", len(seen), tor.NumLinks())
+	}
+}
+
+func TestRouteDimensionOrdered(t *testing.T) {
+	tor := New(8, 8, 8)
+	// From (0,0,0) to (2,3,1): X hops first, then Y, then Z.
+	route := tor.Route(tor.ID(Coord{0, 0, 0}), tor.ID(Coord{2, 3, 1}))
+	if len(route) != 6 {
+		t.Fatalf("route length %d, want 6", len(route))
+	}
+	wantDirs := []Dir{XPlus, XPlus, YPlus, YPlus, YPlus, ZPlus}
+	for i, h := range route {
+		if h.Dir != wantDirs[i] {
+			t.Fatalf("hop %d direction %v, want %v", i, h.Dir, wantDirs[i])
+		}
+	}
+}
