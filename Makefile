@@ -1,0 +1,33 @@
+# Developer entry points. The repo is pure Go with no dependencies beyond the
+# toolchain; everything below is a thin wrapper over the go tool.
+
+GO ?= go
+
+.PHONY: build test check bench bench-json fig5
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the CI gate: static analysis, a full build, and the kernel +
+# experiment-runner tests under the race detector (the parallel fan-out and
+# the baton protocol are exactly the code -race can falsify).
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./internal/sim/... ./internal/exp/...
+
+# bench runs the perf-regression microbenchmarks (calendar queue, process
+# handoff, resource ring). BenchmarkFig5Wallclock is excluded: it simulates
+# the full 64K sweep and takes minutes — run `make fig5` for it.
+bench:
+	$(GO) test -run xxx -bench 'KernelEventChurn|ProcHandoff|ResourceQueue' -benchmem .
+
+# bench-json additionally records BENCH_<name>.json files in the repo root.
+bench-json:
+	BENCH_JSON=. $(GO) test -run xxx -bench 'KernelEventChurn|ProcHandoff|ResourceQueue' -benchmem .
+
+fig5:
+	BENCH_JSON=. $(GO) test -run xxx -bench Fig5Wallclock -benchtime 1x .

@@ -10,6 +10,8 @@ package repro_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -22,6 +24,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
 	"repro/internal/nekcem"
+	"repro/internal/perf"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/xrand"
@@ -299,6 +302,157 @@ func BenchmarkExtensionMultiLevel(b *testing.B) {
 		}
 		report(b, "Extension: multi-level checkpointing @16K", exp.MultiLevelTable(rows))
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Performance-regression benchmarks for the calendar-queue kernel and the
+// process handoff path. When BENCH_JSON names a directory, each also records
+// its result as BENCH_<name>.json there (see internal/perf).
+
+// emitBench writes one benchmark result as machine-readable JSON when the
+// BENCH_JSON environment variable names a directory.
+func emitBench(b *testing.B, name string, bench perf.Benchmark) {
+	b.Helper()
+	dir := os.Getenv("BENCH_JSON")
+	if dir == "" {
+		return
+	}
+	bench.Name = name
+	r := perf.NewReport("")
+	r.Add(bench)
+	if err := r.WriteJSON(filepath.Join(dir, "BENCH_"+name+".json")); err != nil {
+		b.Error(err)
+	}
+}
+
+// churnHook is a pooled self-rescheduling event: the steady-state calendar
+// workload with zero allocation pressure of its own.
+type churnHook struct {
+	k    *sim.Kernel
+	left *int
+	rng  uint64
+}
+
+func (h *churnHook) Fire() {
+	if *h.left <= 0 {
+		return
+	}
+	*h.left--
+	// xorshift so the population spreads over many buckets instead of
+	// marching in lockstep.
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	h.k.AfterHook(1e-7+float64(h.rng%1024)*1e-8, h)
+}
+
+// BenchmarkKernelEventChurn measures raw calendar push/pop throughput with a
+// standing population of a thousand pooled events. Steady state must be
+// allocation-free: 0 allocs/op is part of the kernel's contract.
+func BenchmarkKernelEventChurn(b *testing.B) {
+	k := sim.NewKernel()
+	left := b.N
+	const standing = 1024
+	for i := 0; i < standing; i++ {
+		k.AfterHook(float64(i+1)*1e-7, &churnHook{k: k, left: &left, rng: uint64(i)*2654435761 + 1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	eps := float64(k.Events()) / b.Elapsed().Seconds()
+	b.ReportMetric(eps, "events/s")
+	emitBench(b, "KernelEventChurn", perf.Benchmark{
+		NsPerOp:      float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		EventsPerSec: eps,
+	})
+}
+
+// BenchmarkProcHandoff measures the full baton handoff: a parked process
+// resumed by a peer, costing one channel round-trip and one goroutine switch
+// each way. (BenchmarkMicroProcSwitch measures the Sleep fast path, which
+// elides the handoff entirely.)
+func BenchmarkProcHandoff(b *testing.B) {
+	k := sim.NewKernel()
+	var sleeper *sim.Proc
+	sleeper = k.Go("sleeper", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Park()
+		}
+	})
+	k.Go("waker", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			sleeper.Unpark()
+			p.Sleep(1e-6)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	emitBench(b, "ProcHandoff", perf.Benchmark{
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+	})
+}
+
+// BenchmarkResourceQueue measures Acquire/Release cycling through a deep FIFO
+// wait queue (64 contenders on one unit), the pattern a 1PFPP metadata server
+// sees at scale.
+func BenchmarkResourceQueue(b *testing.B) {
+	k := sim.NewKernel()
+	res := sim.NewResource(1)
+	const contenders = 64
+	per := b.N/contenders + 1
+	for i := 0; i < contenders; i++ {
+		k.Go(fmt.Sprintf("c%d", i), func(p *sim.Proc) {
+			for j := 0; j < per; j++ {
+				res.Acquire(p)
+				p.Sleep(1e-8)
+				res.Release()
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	emitBench(b, "ResourceQueue", perf.Benchmark{
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+	})
+}
+
+// BenchmarkFig5Wallclock measures the end-to-end cost of regenerating
+// Figure 5's 64K-rank column — all five approaches — the number the
+// calendar-queue kernel and handoff work are judged by. The experiment
+// fan-out uses the default worker pool, so multi-core machines overlap the
+// five arms.
+func BenchmarkFig5Wallclock(b *testing.B) {
+	o := opts()
+	o.NPs = []int{65536}
+	perf.TuneGC()
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runs, err := exp.RunAll(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range runs {
+			events += r.Events
+		}
+	}
+	b.StopTimer()
+	eps := float64(events) / b.Elapsed().Seconds()
+	b.ReportMetric(eps, "events/s")
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N), "s/sweep")
+	emitBench(b, "Fig5Wallclock64K", perf.Benchmark{
+		NsPerOp:      float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		EventsPerSec: eps,
+	})
 }
 
 // ---------------------------------------------------------------------------

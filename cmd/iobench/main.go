@@ -16,28 +16,38 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/perf"
 )
 
 func main() {
 	var (
-		which = flag.String("exp", "all", "experiment to run: all, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, eq1, eq7, meshread, fscompare, priorwork, restart, multilevel, ablations")
-		np    = flag.Int("np", 0, "override the processor sweep with a single count (0 = paper scale 16K/32K/64K)")
-		seed  = flag.Uint64("seed", 1, "simulation seed")
-		quiet = flag.Bool("quiet", false, "disable the shared-storage noise model")
+		which    = flag.String("exp", "all", "experiment to run: all, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, eq1, eq7, meshread, fscompare, priorwork, restart, multilevel, ablations")
+		np       = flag.Int("np", 0, "override the processor sweep with a single count (0 = paper scale 16K/32K/64K)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		quiet    = flag.Bool("quiet", false, "disable the shared-storage noise model")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "experiment worker-pool size (1 = serial); results are identical at any setting")
 	)
 	flag.Parse()
+	perf.TuneGC()
 
-	o := exp.Options{Seed: *seed, Quiet: *quiet}
+	o := exp.Options{Seed: *seed, Quiet: *quiet, Parallel: *parallel}
 	if *np > 0 {
 		o.NPs = []int{*np}
 	}
 
-	run := func(name string, fn func() error) {
-		if *which != "all" && *which != name {
+	// run executes fn when -exp selects it: by its own name, "all", or any
+	// alias (the headline runs serve fig5, fig6 and fig7).
+	run := func(name string, fn func() error, aliases ...string) {
+		match := *which == "all" || *which == name
+		for _, a := range aliases {
+			match = match || *which == a
+		}
+		if !match {
 			return
 		}
 		t0 := time.Now()
@@ -57,7 +67,7 @@ func main() {
 			var err error
 			headline, err = exp.Headline(o)
 			return err
-		})
+		}, "fig5", "fig6", "fig7")
 	}
 	if headline != nil {
 		if *which == "all" || *which == "fig5" {
@@ -263,6 +273,11 @@ func main() {
 
 // ran reports whether the name is a known experiment (for the error path).
 func ran(name string) bool {
-	known := "all fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table1 eq1 eq7 meshread fscompare priorwork restart multilevel ablations headline (figs 5-7)"
-	return strings.Contains(known, name)
+	known := "all fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table1 eq1 eq7 meshread fscompare priorwork restart multilevel ablations"
+	for _, k := range strings.Fields(known) {
+		if name == k {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"runtime"
+	"testing"
+)
+
+// fig5At renders the Figure 5 table at a reduced scale with the given
+// worker-pool size — the full serialization of every simulated number the
+// figure prints.
+func fig5At(t *testing.T, parallel int) string {
+	t.Helper()
+	rows, err := Headline(Options{Seed: 1, NPs: []int{512}, Parallel: parallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Fig5Table(rows)
+}
+
+// TestFig5DeterministicAcrossGOMAXPROCS is the reproducibility regression
+// test for the parallel experiment runner: the printed Figure 5 rows must be
+// byte-identical run to run, serial versus worker pool, and GOMAXPROCS=1
+// versus all CPUs. Each simulation owns its kernel and RNG and the kernel's
+// baton protocol keeps exactly one goroutine runnable per simulation, so
+// scheduling freedom must never reach the simulated numbers.
+func TestFig5DeterministicAcrossGOMAXPROCS(t *testing.T) {
+	ref := fig5At(t, 1)
+
+	if got := fig5At(t, 1); got != ref {
+		t.Errorf("serial rerun differs:\n%s\nvs\n%s", got, ref)
+	}
+	if got := fig5At(t, runtime.NumCPU()); got != ref {
+		t.Errorf("parallel runner differs:\n%s\nvs\n%s", got, ref)
+	}
+	if got := fig5At(t, 4); got != ref {
+		t.Errorf("4-worker pool differs:\n%s\nvs\n%s", got, ref)
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	if got := fig5At(t, 1); got != ref {
+		t.Errorf("GOMAXPROCS=1 serial differs:\n%s\nvs\n%s", got, ref)
+	}
+	if got := fig5At(t, 4); got != ref {
+		t.Errorf("GOMAXPROCS=1 with 4 workers differs:\n%s\nvs\n%s", got, ref)
+	}
+}

@@ -32,6 +32,11 @@ type Options struct {
 	// Quiet disables the shared-storage noise model (the paper ran under
 	// normal load; Quiet is the ablation).
 	Quiet bool
+	// Parallel is the worker-pool size for experiment sets (RunSet/RunAll):
+	// 0 means one worker per CPU, 1 forces serial execution. Simulations are
+	// deterministic per-run, so the worker count changes wall-clock time
+	// only, never results.
+	Parallel int
 }
 
 // PaperNPs are the paper's weak-scaling processor counts.
@@ -82,6 +87,7 @@ type Run struct {
 	Log     *iolog.Log
 	Result  *nekcem.RunResult
 	FSStats gpfs.Stats
+	Events  uint64 // kernel events dispatched over the whole simulation
 }
 
 // runCheckpoint executes exactly one coordinated checkpoint step of strat on
@@ -133,6 +139,7 @@ func runCheckpoint(o Options, np int, strat ckpt.Strategy, withLog bool) (*Run, 
 		Log:     log,
 		Result:  res,
 		FSStats: fs.Stats,
+		Events:  k.Events(),
 	}, nil
 }
 

@@ -19,30 +19,29 @@ type HeadlineRow struct {
 
 // Headline runs the paper's five approaches across the weak-scaling points;
 // Figures 5, 6 and 7 are different views of these runs. Passing approach
-// indices restricts the sweep to those columns of the legend.
+// indices restricts the sweep to those columns of the legend. The runs fan
+// out over the Options worker pool; each is an independent simulation, so the
+// rows are identical to a serial sweep.
 func Headline(o Options, approaches ...int) ([]HeadlineRow, error) {
 	if len(approaches) == 0 {
 		approaches = []int{0, 1, 2, 3, 4}
 	}
+	runs, err := RunAll(o, approaches...)
+	if err != nil {
+		return nil, err
+	}
 	var rows []HeadlineRow
-	for _, np := range o.nps() {
-		all := Approaches(np)
-		for _, ai := range approaches {
-			r, err := runCheckpoint(o, np, all[ai], false)
-			if err != nil {
-				return nil, err
-			}
-			step := r.Agg.StepTime()
-			rows = append(rows, HeadlineRow{
-				NP:        np,
-				Approach:  ApproachLabels[ai],
-				S:         r.S,
-				StepSec:   step,
-				GBps:      GB(r.Agg.Bandwidth()),
-				Ratio:     step / r.Result.ComputeStep,
-				WorkerSec: r.Agg.MaxWorker,
-			})
-		}
+	for i, r := range runs {
+		step := r.Agg.StepTime()
+		rows = append(rows, HeadlineRow{
+			NP:        r.NP,
+			Approach:  ApproachLabels[approaches[i%len(approaches)]],
+			S:         r.S,
+			StepSec:   step,
+			GBps:      GB(r.Agg.Bandwidth()),
+			Ratio:     step / r.Result.ComputeStep,
+			WorkerSec: r.Agg.MaxWorker,
+		})
 	}
 	return rows, nil
 }
@@ -96,22 +95,26 @@ type Fig8Row struct {
 // than 2 (nf == np) are skipped, as in the paper.
 func Fig8(o Options) ([]Fig8Row, error) {
 	nfs := []int{256, 512, 1024, 2048, 4096}
-	var rows []Fig8Row
+	var jobs []Job
+	var points []Fig8Row
 	for _, np := range o.nps() {
 		for _, nf := range nfs {
 			gs := np / nf
 			if gs < 2 {
 				continue
 			}
-			strat := DefaultRbIOWithGroup(gs)
-			r, err := runCheckpoint(o, np, strat, false)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig8Row{NP: np, NF: nf, GBps: GB(r.Agg.Bandwidth())})
+			jobs = append(jobs, Job{NP: np, Strategy: DefaultRbIOWithGroup(gs)})
+			points = append(points, Fig8Row{NP: np, NF: nf})
 		}
 	}
-	return rows, nil
+	runs, err := RunSet(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range runs {
+		points[i].GBps = GB(r.Agg.Bandwidth())
+	}
+	return points, nil
 }
 
 // Fig8Table renders the sweep.
@@ -136,17 +139,21 @@ type TableIRow struct {
 // worker was occupied handing its data off, expressed in CPU cycles per
 // field send and as an aggregate perceived bandwidth.
 func TableI(o Options) ([]TableIRow, error) {
-	var rows []TableIRow
+	var jobs []Job
 	for _, np := range o.nps() {
-		r, err := runCheckpoint(o, np, DefaultRbIOWithGroup(64), false)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, Job{NP: np, Strategy: DefaultRbIOWithGroup(64)})
+	}
+	runs, err := RunSet(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []TableIRow
+	for _, r := range runs {
 		// MaxPerceived sums the six per-field hand-offs of the slowest
 		// worker; the paper reports per-send cycles at 850 MHz.
 		perSend := r.Agg.MaxPerceived / 6
 		rows = append(rows, TableIRow{
-			NP:            np,
+			NP:            r.NP,
 			SendCycles:    perSend * 850e6,
 			PerceivedTBps: r.Agg.PerceivedBandwidth() / 1e12,
 		})

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ckpt"
+)
+
+// Job is one independent simulation: a single coordinated checkpoint step of
+// a strategy at a processor count. Jobs carry everything a worker needs, so a
+// set of them can run in any order on any goroutine.
+type Job struct {
+	NP       int
+	Strategy ckpt.Strategy
+	WithLog  bool // collect per-op records (costs memory at 64K)
+}
+
+// workers resolves the worker-pool size: the Parallel option, defaulting to
+// one worker per CPU. A single worker runs jobs inline on the caller.
+func (o Options) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.NumCPU()
+}
+
+// RunSet executes the jobs on a worker pool and returns their results in
+// input order. Each job runs a complete simulation on its own kernel with its
+// own seeded RNG and touches no shared state, so the results — simulated
+// times included — are bit-identical to a serial run regardless of the worker
+// count or GOMAXPROCS; only the wall-clock time changes. The first error (in
+// input order) is returned, and unstarted jobs are abandoned once any job has
+// failed.
+func RunSet(o Options, jobs []Job) ([]*Run, error) {
+	results := make([]*Run, len(jobs))
+	nw := o.workers()
+	if nw > len(jobs) {
+		nw = len(jobs)
+	}
+	if nw <= 1 {
+		for i, j := range jobs {
+			r, err := runCheckpoint(o, j.NP, j.Strategy, j.WithLog)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	var (
+		next   atomic.Int64 // index of the next unclaimed job
+		failed atomic.Bool  // any job errored; drain without starting more
+		errs   = make([]error, len(jobs))
+		wg     sync.WaitGroup
+	)
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) || failed.Load() {
+					return
+				}
+				r, err := runCheckpoint(o, jobs[i].NP, jobs[i].Strategy, jobs[i].WithLog)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// RunAll executes the headline grid — every requested approach at every
+// processor count of the sweep — on the worker pool and returns the runs in
+// sweep order (np-major, approach-minor), the order the figures print in.
+// Passing no approach indices runs all five.
+func RunAll(o Options, approaches ...int) ([]*Run, error) {
+	if len(approaches) == 0 {
+		approaches = []int{0, 1, 2, 3, 4}
+	}
+	var jobs []Job
+	for _, np := range o.nps() {
+		all := Approaches(np)
+		for _, ai := range approaches {
+			jobs = append(jobs, Job{NP: np, Strategy: all[ai]})
+		}
+	}
+	return RunSet(o, jobs)
+}

@@ -108,6 +108,10 @@ type Torus struct {
 	linkFree   []float64 // per directed link: time it next becomes free
 	injectFree []float64 // per node: injection DMA next free
 	linkBusy   []float64 // per directed link: cumulative occupancy
+
+	// Transfer scratch, reused across calls (the kernel serializes them):
+	routeBuf []topo.Hop // current route
+	idxBuf   []int      // link index of each hop on it
 }
 
 // NewTorus builds the torus fabric over the given topology.
@@ -146,12 +150,14 @@ func (tn *Torus) Transfer(start float64, src, dst int, size int64) (arrival floa
 	if src == dst {
 		return start + tn.cfg.HopLatency
 	}
-	route := tn.Topo.Route(src, dst)
+	tn.routeBuf = tn.Topo.AppendRoute(tn.routeBuf[:0], src, dst)
+	tn.idxBuf = tn.idxBuf[:0]
 	head := start
 	bottleneck := tn.cfg.LinkBW
 	// Head flit traverses each link, queueing behind earlier messages.
-	for _, h := range route {
+	for _, h := range tn.routeBuf {
 		idx := tn.Topo.LinkIndex(h)
+		tn.idxBuf = append(tn.idxBuf, idx)
 		if tn.linkFree[idx] > head {
 			head = tn.linkFree[idx]
 		}
@@ -160,8 +166,7 @@ func (tn *Torus) Transfer(start float64, src, dst int, size int64) (arrival floa
 	ser := float64(size) / bottleneck
 	arrival = head + ser
 	// The body occupies every traversed link for its serialization time.
-	for _, h := range route {
-		idx := tn.Topo.LinkIndex(h)
+	for _, idx := range tn.idxBuf {
 		tn.linkFree[idx] = arrival
 		tn.linkBusy[idx] += ser
 	}

@@ -63,6 +63,9 @@ type World struct {
 	splitReg   map[splitKey]*splitEntry
 	barriers   map[splitKey]*barrierState
 	values     map[splitKey]*valueEntry
+	msgPool    []*message  // free list of consumed messages
+	sendPool   []*sendHook // free list of fired send hooks
+	wakePool   []*wakeHook // free list of fired wake hooks
 }
 
 type valueEntry struct {
@@ -98,15 +101,13 @@ func NewWorld(m *bgp.Machine, cfg Config) *World {
 	members := make([]int, m.Cfg.Ranks)
 	for i := range w.ranks {
 		w.ranks[i] = &Rank{
-			w:          w,
-			id:         i,
-			node:       m.NodeOfRank(i),
-			collSeq:    make(map[int]int),
-			splitCount: make(map[int]int),
+			w:    w,
+			id:   i,
+			node: m.NodeOfRank(i),
 		}
 		members[i] = i
 	}
-	w.world = &Comm{w: w, id: 0, members: members}
+	w.world = &Comm{w: w, id: 0, members: members, ident: true}
 	w.nextCommID = 1
 	return w
 }
@@ -138,8 +139,8 @@ type Rank struct {
 
 	inbox      []*message
 	want       *recvWant
-	collSeq    map[int]int // per-comm collective sequence numbers
-	splitCount map[int]int // per-comm count of splits performed
+	collSeq    []commSeq // per-comm collective sequence numbers
+	splitCount []commSeq // per-comm count of splits performed
 
 	// SendBusyUntil tracks when this rank's messaging layer finishes
 	// injecting its queued sends; consecutive Isends serialize on it.
@@ -163,6 +164,100 @@ type message struct {
 	tag  int
 	comm int
 	buf  data.Buf
+	dst  *Rank // delivery target; message implements sim.Hook
+}
+
+// Fire delivers the message to its destination rank; it runs in kernel
+// context when the payload arrives off the torus. Implementing sim.Hook on
+// the (pooled) message itself makes scheduling a delivery allocation-free.
+func (m *message) Fire() { m.dst.deliver(m) }
+
+// getMsg takes a message from the world's free list; Recv returns consumed
+// messages with putMsg. The pool turns the per-send message+closure garbage
+// — millions of objects per simulation — into a handful of live objects.
+func (w *World) getMsg() *message {
+	if n := len(w.msgPool); n > 0 {
+		m := w.msgPool[n-1]
+		w.msgPool = w.msgPool[:n-1]
+		return m
+	}
+	return &message{}
+}
+
+func (w *World) putMsg(m *message) {
+	*m = message{}
+	w.msgPool = append(w.msgPool, m)
+}
+
+// sendHook performs a blocking send's physical movement — DMA injection,
+// torus traversal, scheduling the delivery — at the instant the sender's
+// software overhead ends. Running it as an event instead of inline after a
+// Sleep lets Send yield exactly once (straight to local completion); the
+// shared fabric state is still read and written at the same simulated time,
+// in the same tie-break position, as the inline Isend path.
+type sendHook struct {
+	w         *World
+	sender    *sim.Proc
+	srcNode   int
+	dst       *Rank
+	localDone float64
+	src       int
+	tag       int
+	comm      int
+	buf       data.Buf
+}
+
+// Fire mirrors, operation for operation, what the sender used to execute
+// inline after its overhead sleep: inject, route, schedule the delivery, then
+// schedule its own resume at local completion. Each step draws its sequence
+// number at the same instant as the inline code did, so every same-timestamp
+// tie-break is preserved bit for bit.
+func (h *sendHook) Fire() {
+	w := h.w
+	injDone := w.M.Torus.Inject(h.localDone, h.srcNode, h.buf.Len())
+	arrival := w.M.Torus.Transfer(injDone, h.srcNode, h.dst.node, h.buf.Len())
+	msg := w.getMsg()
+	*msg = message{src: h.src, tag: h.tag, comm: h.comm, buf: h.buf, dst: h.dst}
+	w.K.AtHook(arrival, msg)
+	h.sender.UnparkAfter(h.localDone - w.K.Now())
+	*h = sendHook{}
+	w.sendPool = append(w.sendPool, h)
+}
+
+func (w *World) getSendHook() *sendHook {
+	if n := len(w.sendPool); n > 0 {
+		h := w.sendPool[n-1]
+		w.sendPool = w.sendPool[:n-1]
+		return h
+	}
+	return &sendHook{}
+}
+
+// wakeHook resumes a parked process after a fixed process-private delay.
+// Scheduled exactly where the old code scheduled the process's intermediate
+// wake, it fires inline in whichever dispatch loop pops it and assigns the
+// final resume's sequence number at the same instant the woken process's own
+// Sleep call used to — same tie-breaks, one handoff instead of two.
+type wakeHook struct {
+	w *World
+	p *sim.Proc
+	d float64
+}
+
+func (h *wakeHook) Fire() {
+	h.p.UnparkAfter(h.d)
+	w := h.w
+	*h = wakeHook{}
+	w.wakePool = append(w.wakePool, h)
+}
+
+func (w *World) getWakeHook() *wakeHook {
+	if n := len(w.wakePool); n > 0 {
+		h := w.wakePool[n-1]
+		w.wakePool = w.wakePool[:n-1]
+		return h
+	}
+	return &wakeHook{}
 }
 
 type recvWant struct {
@@ -177,15 +272,54 @@ func (m *message) matches(want *recvWant) bool {
 		(want.src == AnySource || want.src == m.src)
 }
 
-// deliver runs in kernel context when a message arrives at r.
+// deliver runs in kernel context when a message arrives at r. A rank blocked
+// in Recv is woken directly past the receive overhead and copy time — it
+// would only sleep through them before touching any shared state, so folding
+// them into the wake halves the handoffs per matched receive.
 func (r *Rank) deliver(m *message) {
 	if r.want != nil && m.matches(r.want) {
 		r.want.got = m
 		r.want = nil
-		r.proc.Unpark()
+		cfg := r.w.cfg
+		h := r.w.getWakeHook()
+		*h = wakeHook{w: r.w, p: r.proc,
+			d: cfg.RecvOverhead + float64(m.buf.Len())/cfg.LocalCopyBW}
+		r.w.K.AfterHook(0, h)
 		return
 	}
 	r.inbox = append(r.inbox, m)
+}
+
+// commSeq is one (communicator, counter) entry. A rank belongs to a handful
+// of communicators at most, so a linear scan of a small slice beats the map
+// these counters used to live in — they are bumped on every collective call.
+type commSeq struct {
+	comm int
+	n    int
+}
+
+// bump returns the counter for comm and post-increments it.
+func bump(list *[]commSeq, comm int) int {
+	s := *list
+	for i := range s {
+		if s[i].comm == comm {
+			n := s[i].n
+			s[i].n = n + 1
+			return n
+		}
+	}
+	*list = append(s, commSeq{comm: comm, n: 1})
+	return 0
+}
+
+// peekSeq returns the counter for comm without incrementing it.
+func peekSeq(list []commSeq, comm int) int {
+	for i := range list {
+		if list[i].comm == comm {
+			return list[i].n
+		}
+	}
+	return 0
 }
 
 // Request represents an outstanding non-blocking send.
@@ -206,6 +340,19 @@ type Comm struct {
 	w       *World
 	id      int
 	members []int // world ranks; index == comm rank
+	ident   bool  // members[i] == i: comm rank equals world rank
+}
+
+// isIdent reports whether members is the identity mapping, letting the
+// world communicator (and any split that reproduces it) translate ranks
+// without the binary search.
+func isIdent(members []int) bool {
+	for i, m := range members {
+		if m != i {
+			return false
+		}
+	}
+	return true
 }
 
 // Size returns the number of ranks in the communicator.
@@ -213,6 +360,12 @@ func (c *Comm) Size() int { return len(c.members) }
 
 // Rank returns r's rank within the communicator, or -1 if not a member.
 func (c *Comm) Rank(r *Rank) int {
+	if c.ident {
+		if r.id < len(c.members) {
+			return r.id
+		}
+		return -1
+	}
 	// members is sorted by construction; binary search.
 	i := sort.SearchInts(c.members, r.id)
 	if i < len(c.members) && c.members[i] == r.id {
@@ -229,10 +382,15 @@ func (c *Comm) WorldRank(commRank int) int { return c.members[commRank] }
 // request completes when the payload has been handed off locally. The
 // payload arrives at the destination after traversing the torus.
 func (c *Comm) Isend(r *Rank, dst, tag int, buf data.Buf) *Request {
+	doneAt, start := c.isend(r, dst, tag, buf)
+	return &Request{doneAt: doneAt, start: start}
+}
+
+func (c *Comm) isend(r *Rank, dst, tag int, buf data.Buf) (doneAt, start float64) {
 	if dst < 0 || dst >= len(c.members) {
 		panic(fmt.Sprintf("mpi: Isend to rank %d of %d-rank comm", dst, len(c.members)))
 	}
-	start := r.Now()
+	start = r.Now()
 	cfg := r.w.cfg
 	// The call itself costs the software overhead.
 	r.proc.Sleep(cfg.SendOverhead)
@@ -250,14 +408,36 @@ func (c *Comm) Isend(r *Rank, dst, tag int, buf data.Buf) *Request {
 	// Physical movement: DMA injection, then the torus.
 	injDone := r.w.M.Torus.Inject(localDone, r.node, buf.Len())
 	arrival := r.w.M.Torus.Transfer(injDone, r.node, dstRank.node, buf.Len())
-	msg := &message{src: r.id, tag: tag, comm: c.id, buf: buf}
-	r.w.K.At(arrival, func() { dstRank.deliver(msg) })
-	return &Request{doneAt: localDone, start: start}
+	msg := r.w.getMsg()
+	*msg = message{src: r.id, tag: tag, comm: c.id, buf: buf, dst: dstRank}
+	r.w.K.AtHook(arrival, msg)
+	return localDone, start
 }
 
-// Send is a blocking send: Isend followed by Wait.
+// Send is a blocking send: semantically Isend followed by Wait, costed
+// identically. Every input to the send pipeline — overhead end, buffer
+// handoff, local completion — depends only on rank-private state, so Send
+// computes them up front, posts a pooled sendHook to touch the fabric at the
+// overhead-end instant, and yields once, straight to local completion.
 func (c *Comm) Send(r *Rank, dst, tag int, buf data.Buf) {
-	c.Isend(r, dst, tag, buf).Wait(r.proc)
+	if dst < 0 || dst >= len(c.members) {
+		panic(fmt.Sprintf("mpi: Send to rank %d of %d-rank comm", dst, len(c.members)))
+	}
+	cfg := r.w.cfg
+	tCall := r.Now() + cfg.SendOverhead
+	copyStart := tCall
+	if r.sendBusyUntil > copyStart {
+		copyStart = r.sendBusyUntil
+	}
+	localDone := copyStart + float64(buf.Len())/cfg.LocalCopyBW
+	r.sendBusyUntil = localDone
+	h := r.w.getSendHook()
+	*h = sendHook{
+		w: r.w, sender: r.proc, srcNode: r.node, dst: r.w.ranks[c.members[dst]],
+		localDone: localDone, src: r.id, tag: tag, comm: c.id, buf: buf,
+	}
+	r.w.K.AtHook(tCall, h)
+	r.proc.Park() // the hook resumes us at localDone
 }
 
 // RecvRequest is an outstanding non-blocking receive posted with Irecv.
@@ -309,15 +489,26 @@ func (c *Comm) Recv(r *Rank, src, tag int) (data.Buf, int) {
 	}
 	if got == nil {
 		r.want = want
-		r.proc.Park()
+		r.proc.Park() // deliver's wakeHook resumes us past overhead and copy
 		got = want.got
+		buf, srcWorld := got.buf, got.src
+		r.w.putMsg(got)
+		return buf, c.rankOfWorld(srcWorld)
 	}
 	cfg := r.w.cfg
-	r.proc.Sleep(cfg.RecvOverhead + float64(got.buf.Len())/cfg.LocalCopyBW)
-	return got.buf, c.rankOfWorld(got.src)
+	buf, srcWorld := got.buf, got.src
+	r.w.putMsg(got) // consumed: back to the pool before yielding
+	r.proc.Sleep(cfg.RecvOverhead + float64(buf.Len())/cfg.LocalCopyBW)
+	return buf, c.rankOfWorld(srcWorld)
 }
 
 func (c *Comm) rankOfWorld(world int) int {
+	if c.ident {
+		if world >= 0 && world < len(c.members) {
+			return world
+		}
+		return -1
+	}
 	i := sort.SearchInts(c.members, world)
 	if i < len(c.members) && c.members[i] == world {
 		return i
@@ -329,9 +520,7 @@ func (c *Comm) rankOfWorld(world int) int {
 const collTag = 1 << 20
 
 func (c *Comm) nextCollTag(r *Rank) int {
-	seq := r.collSeq[c.id]
-	r.collSeq[c.id] = seq + 1
-	return collTag + seq
+	return collTag + bump(&r.collSeq, c.id)
 }
 
 // HWBarrierLatency is the latency of Blue Gene/P's dedicated tree-based
@@ -348,8 +537,7 @@ func (c *Comm) Barrier(r *Rank) {
 		return
 	}
 	c.mustRank(r)
-	seq := r.collSeq[c.id]
-	r.collSeq[c.id] = seq + 1
+	seq := bump(&r.collSeq, c.id)
 	key := splitKey{parent: c.id, seq: seq}
 	st, ok := c.w.barriers[key]
 	if !ok {
@@ -422,7 +610,7 @@ func (c *Comm) BcastValueSized(r *Rank, root int, v any, size int64) any {
 	if len(c.members) == 1 {
 		return v
 	}
-	key := splitKey{parent: c.id, seq: r.collSeq[c.id]} // Bcast below consumes this seq
+	key := splitKey{parent: c.id, seq: peekSeq(r.collSeq, c.id)} // Bcast below consumes this seq
 	if c.mustRank(r) == root {
 		c.w.values[key] = &valueEntry{v: v}
 		c.Bcast(r, root, data.Synthetic(size))
@@ -453,8 +641,7 @@ func (c *Comm) Shared(r *Rank, compute func() any) any {
 	if len(c.members) == 1 {
 		return compute()
 	}
-	seq := r.collSeq[c.id]
-	r.collSeq[c.id] = seq + 1
+	seq := bump(&r.collSeq, c.id)
 	key := splitKey{parent: c.id, seq: seq}
 	e, ok := c.w.values[key]
 	if !ok {
@@ -475,28 +662,30 @@ func (c *Comm) GatherInt64(r *Rank, root int, v int64) []int64 {
 	me := c.mustRank(r)
 	tag := c.nextCollTag(r)
 	vrank := (me - root + n) % n
-	// Each node owns a region [vrank, vrank+span) of the virtual ranks.
-	vals := map[int]int64{vrank: v}
+	// Each node owns the contiguous region [vrank, vrank+len(vals)) of the
+	// virtual ranks: a child at vrank+mask contributes exactly the adjacent
+	// region, so the working set is a slice, not a sparse map, and the wire
+	// encoding (ascending keys) is unchanged.
+	vals := make([]int64, 1, 2)
+	vals[0] = v
 	mask := 1
 	for mask < n {
 		if vrank&mask != 0 {
 			// Send everything owned to parent and stop.
 			parent := ((vrank - mask) + root) % n
-			c.Send(r, parent, tag, encodeInt64Map(vals))
+			c.Send(r, parent, tag, encodeInt64Range(vrank, vals))
 			return nil
 		}
 		// Receive from child vrank+mask if it exists.
 		if vrank+mask < n {
 			buf, _ := c.Recv(r, (vrank+mask+root)%n, tag)
-			for k, val := range decodeInt64Map(buf) {
-				vals[k] = val
-			}
+			vals = appendInt64Range(vals, vrank+len(vals), buf)
 		}
 		mask <<= 1
 	}
 	out := make([]int64, n)
-	for k, val := range vals {
-		out[(k+root)%n] = val
+	for i, val := range vals {
+		out[(vrank+i+root)%n] = val
 	}
 	return out
 }
@@ -516,21 +705,22 @@ func (c *Comm) AllgatherBytes(r *Rank, b []byte) [][]byte {
 	n := len(c.members)
 	me := c.mustRank(r)
 	tag := c.nextCollTag(r)
-	// Binomial gather to rank 0 of sparse (rank, bytes) sets.
-	vals := map[int][]byte{me: b}
+	// Binomial gather to rank 0 of contiguous (rank, bytes) regions; as in
+	// GatherInt64, each node's region [me, me+len(vals)) is a slice and the
+	// sorted-key wire encoding is unchanged.
+	vals := make([][]byte, 1, 2)
+	vals[0] = b
 	mask := 1
 	gatherDone := false
 	for mask < n {
 		if me&mask != 0 {
-			c.Send(r, me-mask, tag, data.FromBytes(encodeBytesMap(vals)))
+			c.Send(r, me-mask, tag, data.FromBytes(encodeBytesRange(me, vals)))
 			gatherDone = true
 			break
 		}
 		if me+mask < n {
 			buf, _ := c.Recv(r, me+mask, tag)
-			for k, v := range decodeBytesMap(buf.Bytes()) {
-				vals[k] = v
-			}
+			vals = appendBytesRange(vals, me+len(vals), buf.Bytes())
 		}
 		mask <<= 1
 	}
@@ -538,9 +728,9 @@ func (c *Comm) AllgatherBytes(r *Rank, b []byte) [][]byte {
 	var total int64
 	if !gatherDone && me == 0 {
 		out = make([][]byte, n)
-		for k, v := range vals {
-			if k >= 0 && k < n {
-				out[k] = v
+		for i, v := range vals {
+			if i < n {
+				out[i] = v
 				total += int64(len(v)) + 8
 			}
 		}
@@ -550,26 +740,24 @@ func (c *Comm) AllgatherBytes(r *Rank, b []byte) [][]byte {
 	return shared.([][]byte)
 }
 
-func encodeBytesMap(m map[int][]byte) []byte {
-	idx := make([]int, 0, len(m))
-	for k := range m {
-		idx = append(idx, k)
-	}
-	sort.Ints(idx)
+// encodeBytesRange serializes the contiguous (index, bytes) pairs
+// (base+i, vals[i]) — byte-identical to the former sparse-map encoding.
+func encodeBytesRange(base int, vals [][]byte) []byte {
 	var b []byte
-	b = binary.LittleEndian.AppendUint32(b, uint32(len(idx)))
-	for _, k := range idx {
-		b = binary.LittleEndian.AppendUint32(b, uint32(k))
-		b = binary.LittleEndian.AppendUint32(b, uint32(len(m[k])))
-		b = append(b, m[k]...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(vals)))
+	for i, v := range vals {
+		b = binary.LittleEndian.AppendUint32(b, uint32(base+i))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(v)))
+		b = append(b, v...)
 	}
 	return b
 }
 
-func decodeBytesMap(b []byte) map[int][]byte {
-	m := map[int][]byte{}
+// appendBytesRange decodes a contiguous run encoded by encodeBytesRange and
+// appends its byte slices (aliasing the buffer) to vals.
+func appendBytesRange(vals [][]byte, base int, b []byte) [][]byte {
 	if len(b) < 4 {
-		return m
+		return vals
 	}
 	n := int(binary.LittleEndian.Uint32(b))
 	p := b[4:]
@@ -580,10 +768,14 @@ func decodeBytesMap(b []byte) map[int][]byte {
 		if l > len(p) {
 			break
 		}
-		m[k] = p[:l]
+		if k != base {
+			panic(fmt.Sprintf("mpi: gather region starts at %d, want %d", k, base))
+		}
+		vals = append(vals, p[:l])
 		p = p[l:]
+		base++
 	}
-	return m
+	return vals
 }
 
 // ReduceOp is a binary reduction operator.
@@ -633,8 +825,7 @@ func (c *Comm) Split(r *Rank, color int64, key int64) *Comm {
 	colors := c.AllgatherInt64(r, color)
 	keys := c.AllgatherInt64(r, key)
 
-	seq := r.splitCount[c.id]
-	r.splitCount[c.id] = seq + 1
+	seq := bump(&r.splitCount, c.id)
 	sk := splitKey{parent: c.id, seq: seq}
 	entry, ok := c.w.splitReg[sk]
 	if !ok {
@@ -670,7 +861,7 @@ func (c *Comm) Split(r *Rank, color int64, key int64) *Comm {
 			// membership). The paper's strategies only split with
 			// key == parent rank, where the two orderings coincide.
 			sort.Ints(members)
-			entry.comms[col] = &Comm{w: c.w, id: c.w.nextCommID, members: members}
+			entry.comms[col] = &Comm{w: c.w, id: c.w.nextCommID, members: members, ident: isIdent(members)}
 			c.w.nextCommID++
 		}
 		c.w.splitReg[sk] = entry
@@ -686,31 +877,32 @@ func (c *Comm) mustRank(r *Rank) int {
 	return me
 }
 
-// encodeInt64Map serializes sparse (index, value) pairs.
-func encodeInt64Map(m map[int]int64) data.Buf {
-	idx := make([]int, 0, len(m))
-	for k := range m {
-		idx = append(idx, k)
-	}
-	sort.Ints(idx)
-	b := make([]byte, 0, 16*len(m))
+// encodeInt64Range serializes the contiguous (index, value) pairs
+// (base+i, vals[i]) — byte-identical to the former sparse-map encoding,
+// whose sorted keys were always this contiguous run.
+func encodeInt64Range(base int, vals []int64) data.Buf {
+	b := make([]byte, 0, 16*len(vals))
 	var tmp [8]byte
-	for _, k := range idx {
-		binary.LittleEndian.PutUint64(tmp[:], uint64(k))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(tmp[:], uint64(base+i))
 		b = append(b, tmp[:]...)
-		binary.LittleEndian.PutUint64(tmp[:], uint64(m[k]))
+		binary.LittleEndian.PutUint64(tmp[:], uint64(v))
 		b = append(b, tmp[:]...)
 	}
 	return data.FromBytes(b)
 }
 
-func decodeInt64Map(buf data.Buf) map[int]int64 {
+// appendInt64Range decodes a contiguous run encoded by encodeInt64Range and
+// appends its values to vals. The run must start at index base — gather
+// regions are adjacent by construction.
+func appendInt64Range(vals []int64, base int, buf data.Buf) []int64 {
 	b := buf.Bytes()
-	m := make(map[int]int64, len(b)/16)
 	for i := 0; i+16 <= len(b); i += 16 {
-		k := int(binary.LittleEndian.Uint64(b[i:]))
-		v := int64(binary.LittleEndian.Uint64(b[i+8:]))
-		m[k] = v
+		if k := int(binary.LittleEndian.Uint64(b[i:])); k != base {
+			panic(fmt.Sprintf("mpi: gather region starts at %d, want %d", k, base))
+		}
+		vals = append(vals, int64(binary.LittleEndian.Uint64(b[i+8:])))
+		base++
 	}
-	return m
+	return vals
 }

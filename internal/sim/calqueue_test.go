@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// popAll drains the queue, asserting monotone (t, seq) order.
+func popAll(t *testing.T, c *calQueue) []event {
+	t.Helper()
+	var out []event
+	for c.len() > 0 {
+		ev := c.pop()
+		if n := len(out); n > 0 && !eventLess(out[n-1], ev) {
+			t.Fatalf("pop %d out of order: %v after %v", n, ev, out[n-1])
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestCalQueueRandomAgainstSort drives the calendar through enough random
+// events to force growth resizes, window reseeds and cursor jumps, and checks
+// the drain order against a plain sort. Time scales span nanoseconds to
+// kiloseconds so the window logic sees the workload's bimodal spacing.
+func TestCalQueueRandomAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	scales := []float64{1e-9, 1e-6, 1e-3, 1, 1e3}
+	var c calQueue
+	c.init()
+	var all []event
+	for seq := uint64(1); seq <= 20000; seq++ {
+		ev := event{t: rng.Float64() * scales[rng.Intn(len(scales))], seq: seq}
+		all = append(all, ev)
+		c.push(ev)
+	}
+	got := popAll(t, &c)
+	sort.Slice(all, func(i, j int) bool { return eventLess(all[i], all[j]) })
+	for i := range all {
+		if got[i] != all[i] {
+			t.Fatalf("event %d: got %v want %v", i, got[i], all[i])
+		}
+	}
+}
+
+// TestCalQueueInterleavedChurn mixes pushes and pops (the simulation's actual
+// access pattern) with times near the current head, exercising the sorted-run
+// fast path, its heap-mode degradation, and bucket compaction.
+func TestCalQueueInterleavedChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var c calQueue
+	c.init()
+	now := 0.0
+	seq := uint64(0)
+	var last event
+	var popped int
+	for step := 0; step < 50000; step++ {
+		if c.len() == 0 || rng.Intn(3) > 0 {
+			seq++
+			// Mostly near-future, occasionally far-future (overflow heap).
+			d := rng.Float64() * 1e-6
+			if rng.Intn(50) == 0 {
+				d = rng.Float64() * 10
+			}
+			c.push(event{t: now + d, seq: seq})
+			continue
+		}
+		ev := c.pop()
+		if popped > 0 && !eventLess(last, ev) {
+			t.Fatalf("step %d: pop %v after %v", step, ev, last)
+		}
+		if ev.t < now {
+			t.Fatalf("step %d: time went backwards: %v < %v", step, ev.t, now)
+		}
+		now, last, popped = ev.t, ev, popped+1
+	}
+	popAll(t, &c)
+}
+
+// TestCalQueueSameTimestampFIFO checks that a deep same-timestamp cluster —
+// a barrier releasing thousands of ranks at one instant — drains in exact
+// scheduling order, including when pops interleave with new same-time pushes.
+func TestCalQueueSameTimestampFIFO(t *testing.T) {
+	var c calQueue
+	c.init()
+	const at = 3.5
+	for seq := uint64(1); seq <= 5000; seq++ {
+		c.push(event{t: at, seq: seq})
+	}
+	next := uint64(5001)
+	for i := 0; i < 2000; i++ {
+		ev := c.pop()
+		if ev.seq != uint64(i+1) {
+			t.Fatalf("pop %d: seq %d, want %d", i, ev.seq, i+1)
+		}
+		if i%2 == 0 {
+			c.push(event{t: at, seq: next})
+			next++
+		}
+	}
+	want := uint64(2001)
+	for c.len() > 0 {
+		ev := c.pop()
+		if ev.seq != want {
+			t.Fatalf("drain: seq %d, want %d", ev.seq, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained to seq %d, want %d", want, next)
+	}
+}
+
+// TestCalQueueShrinkAfterWave checks that the calendar shrinks back after a
+// large wave drains (the shrink-resize path) and still orders a sparse tail
+// correctly.
+func TestCalQueueShrinkAfterWave(t *testing.T) {
+	var c calQueue
+	c.init()
+	seq := uint64(0)
+	for i := 0; i < 10000; i++ {
+		seq++
+		c.push(event{t: float64(i) * 1e-6, seq: seq})
+	}
+	for i := 0; i < 9990; i++ {
+		c.pop()
+	}
+	if got := len(c.buckets); got > 1024 {
+		t.Errorf("bucket array did not shrink: %d buckets for %d events", got, c.len())
+	}
+	seq++
+	c.push(event{t: 100, seq: seq})
+	out := popAll(t, &c)
+	if out[len(out)-1].t != 100 {
+		t.Fatalf("tail event lost: last pop %v", out[len(out)-1])
+	}
+}
+
+// TestCalQueueInfinityAndHugeTimes checks the float-safety overflow route:
+// events beyond the width-dependent horizon (including +Inf sentinels) stay
+// in the overflow heap and still drain in order.
+func TestCalQueueInfinityAndHugeTimes(t *testing.T) {
+	var c calQueue
+	c.init()
+	inf := func(seq uint64) event { return event{t: 1e300, seq: seq} }
+	c.push(inf(1))
+	c.push(event{t: 1e-6, seq: 2})
+	c.push(event{t: 5, seq: 3})
+	got := popAll(t, &c)
+	wantSeq := []uint64{2, 3, 1}
+	for i, w := range wantSeq {
+		if got[i].seq != w {
+			t.Fatalf("pop %d: seq %d, want %d", i, got[i].seq, w)
+		}
+	}
+}

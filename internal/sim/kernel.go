@@ -4,15 +4,20 @@
 // The kernel owns a calendar of timestamped events and a virtual clock.
 // Model code runs either as plain event callbacks or as processes: ordinary
 // goroutines that advance virtual time with Sleep and block on Signals and
-// Resources. Exactly one goroutine — the kernel or a single process — runs at
-// any instant; control is handed off explicitly through per-process channels.
-// This strict handoff makes every simulation bit-reproducible regardless of
-// GOMAXPROCS, at the cost of running the model serially (which is what a
-// discrete-event simulation does anyway).
+// Resources. Exactly one goroutine — the Run caller or a single process —
+// runs at any instant; the dispatch loop itself travels with that ownership
+// (see the baton protocol below), so waking a process is a single direct
+// goroutine handoff. This strict discipline makes every simulation
+// bit-reproducible regardless of GOMAXPROCS, at the cost of running the model
+// serially (which is what a discrete-event simulation does anyway).
 //
 // Events at equal timestamps fire in scheduling order (a monotonically
-// increasing sequence number breaks ties), so the model never depends on heap
-// implementation details.
+// increasing sequence number breaks ties), so the model never depends on
+// calendar implementation details.
+//
+// The hot path is allocation-free at steady state: the calendar queue stores
+// events by value in recycled buckets, and the AtProc/AfterProc fast paths
+// schedule a process resume without the closure a plain At would capture.
 package sim
 
 import (
@@ -26,21 +31,43 @@ import (
 type Kernel struct {
 	now     float64
 	seq     uint64
-	heap    eventHeap
-	procs   int // live (spawned, not finished) processes
-	parked  map[*Proc]struct{}
+	cal     calQueue
+	horizon float64 // Sleep may not advance the clock past this (RunUntil bound)
+	procs   int     // live (spawned, not finished) processes
+	nparked int     // processes currently parked
+	reg     []*Proc // every process ever spawned, for deadlock reporting
 	running bool
+	mainCh  chan struct{} // baton handoff back to the Run/RunUntil caller
 }
 
+// Hook is a pre-allocated event action. Hot schedulers (the MPI transport's
+// message deliveries) implement it on a pooled object so firing an event
+// allocates nothing; plain At callbacks are wrapped in one via funcHook,
+// which is a free conversion because a func value is pointer-shaped.
+type Hook interface{ Fire() }
+
+type funcHook func()
+
+func (f funcHook) Fire() { f() }
+
+// event is one calendar entry, 32 bytes so the calendar's heap operations
+// move as little memory as possible. h is either an action to fire or —
+// detected by type assertion in the dispatch loops — a *Proc to resume (the
+// pooled fast path: converting a *Proc to Hook allocates nothing).
 type event struct {
 	t   float64
 	seq uint64
-	fn  func()
+	h   Hook
 }
 
 // NewKernel returns a kernel with the clock at zero.
 func NewKernel() *Kernel {
-	return &Kernel{parked: make(map[*Proc]struct{})}
+	k := &Kernel{
+		horizon: math.Inf(1),
+		mainCh:  make(chan struct{}),
+	}
+	k.cal.init()
+	return k
 }
 
 // Now returns the current simulation time in seconds.
@@ -48,7 +75,42 @@ func (k *Kernel) Now() float64 { return k.now }
 
 // At schedules fn to run at absolute simulation time t. Scheduling in the
 // past panics: the model has a causality bug.
-func (k *Kernel) At(t float64, fn func()) {
+func (k *Kernel) At(t float64, fn func()) { k.insert(t, funcHook(fn)) }
+
+// After schedules fn to run d seconds from now.
+func (k *Kernel) After(d float64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.insert(k.now+d, funcHook(fn))
+}
+
+// AtHook schedules h to fire at absolute simulation time t without
+// allocating: the caller owns (and may pool) the Hook.
+func (k *Kernel) AtHook(t float64, h Hook) { k.insert(t, h) }
+
+// AfterHook schedules h to fire d seconds from now.
+func (k *Kernel) AfterHook(d float64, h Hook) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.insert(k.now+d, h)
+}
+
+// AtProc schedules process p to resume at absolute simulation time t. It is
+// the allocation-free equivalent of At(t, func() { resume p }) for the
+// kernel's hottest path: Sleep, Unpark and Go all schedule process resumes.
+func (k *Kernel) AtProc(t float64, p *Proc) { k.insert(t, p) }
+
+// AfterProc schedules process p to resume d seconds from now.
+func (k *Kernel) AfterProc(d float64, p *Proc) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.insert(k.now+d, p)
+}
+
+func (k *Kernel) insert(t float64, h Hook) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
@@ -56,15 +118,7 @@ func (k *Kernel) At(t float64, fn func()) {
 		panic("sim: scheduling event at NaN time")
 	}
 	k.seq++
-	k.heap.push(event{t: t, seq: k.seq, fn: fn})
-}
-
-// After schedules fn to run d seconds from now.
-func (k *Kernel) After(d float64, fn func()) {
-	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v", d))
-	}
-	k.At(k.now+d, fn)
+	k.cal.push(event{t: t, seq: k.seq, h: h})
 }
 
 // DeadlockError reports processes still blocked when the event calendar
@@ -86,16 +140,15 @@ func (k *Kernel) Run() error {
 		panic("sim: Run called reentrantly")
 	}
 	k.running = true
+	k.horizon = math.Inf(1)
 	defer func() { k.running = false }()
-	for len(k.heap) > 0 {
-		ev := k.heap.pop()
-		k.now = ev.t
-		ev.fn()
-	}
-	if len(k.parked) > 0 {
-		names := make([]string, 0, len(k.parked))
-		for p := range k.parked {
-			names = append(names, p.name)
+	k.dispatchMain()
+	if k.nparked > 0 {
+		names := make([]string, 0, k.nparked)
+		for _, p := range k.reg {
+			if p.parked {
+				names = append(names, p.name)
+			}
 		}
 		sort.Strings(names)
 		return &DeadlockError{Procs: names}
@@ -105,66 +158,112 @@ func (k *Kernel) Run() error {
 
 // RunUntil executes events with timestamps <= t, then sets the clock to t.
 func (k *Kernel) RunUntil(t float64) {
-	for len(k.heap) > 0 && k.heap[0].t <= t {
-		ev := k.heap.pop()
-		k.now = ev.t
-		ev.fn()
-	}
+	prev := k.horizon
+	k.horizon = t
+	k.dispatchMain()
+	k.horizon = prev
 	if t > k.now {
 		k.now = t
 	}
 }
 
-// Pending reports the number of events still scheduled.
-func (k *Kernel) Pending() int { return len(k.heap) }
+// The baton protocol: exactly one goroutine — the Run/RunUntil caller
+// ("main") or one process — owns the kernel at any instant and is responsible
+// for dispatching events. Ownership moves over unbuffered channels: a token on
+// a process's channel means "your resume event was just popped; you own the
+// kernel, continue your model code", and a token on mainCh means "no event
+// remains within the horizon; Run/RunUntil is done". Waking a process
+// therefore hands the dispatch loop to it directly — one channel pair and one
+// goroutine switch per wakeup, with main out of the loop entirely — instead
+// of detouring every wakeup through a central scheduler goroutine. Every
+// channel operation is a happens-before edge over all kernel and model state,
+// which is what keeps the strict one-runnable-goroutine guarantee intact (and
+// lets `go test -race` verify it mechanically).
 
-// eventHeap is a binary min-heap ordered by (t, seq). It is hand-rolled
-// rather than using container/heap to avoid interface boxing on the
-// simulator's hottest path.
-type eventHeap []event
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h *eventHeap) push(e event) {
-	*h = append(*h, e)
-	i := len(*h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
-		i = parent
-	}
-}
-
-func (h *eventHeap) pop() event {
-	old := *h
-	top := old[0]
-	n := len(old) - 1
-	old[0] = old[n]
-	old[n] = event{} // release closure for GC
-	*h = old[:n]
-	i := 0
+// dispatchMain dispatches from the Run/RunUntil caller. It returns once no
+// event remains within the horizon — either directly, or (after the baton has
+// been handed to a process) when the out-of-work token arrives on mainCh.
+func (k *Kernel) dispatchMain() {
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && (*h).less(l, smallest) {
-			smallest = l
+		next, ok := k.cal.peek()
+		if !ok || next.t > k.horizon {
+			return
 		}
-		if r < n && (*h).less(r, smallest) {
-			smallest = r
+		ev := k.cal.pop()
+		k.now = ev.t
+		p, ok := ev.h.(*Proc)
+		if !ok {
+			ev.h.Fire()
+			continue
 		}
-		if smallest == i {
-			break
+		if p.done {
+			panic("sim: resuming finished process " + p.name)
 		}
-		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
-		i = smallest
+		p.ch <- struct{}{}
+		<-k.mainCh
+		return
 	}
-	return top
 }
+
+// dispatch dispatches from a process that just yielded (scheduled its own
+// resume, or parked). It returns when the process's model code should
+// continue: its own resume event popped, or — after passing the baton on —
+// the resume token arrived on its channel.
+func (k *Kernel) dispatch(self *Proc) {
+	for {
+		next, ok := k.cal.peek()
+		if !ok || next.t > k.horizon {
+			k.mainCh <- struct{}{}
+			<-self.ch
+			return
+		}
+		ev := k.cal.pop()
+		k.now = ev.t
+		p, ok := ev.h.(*Proc)
+		if !ok {
+			ev.h.Fire()
+			continue
+		}
+		if p == self {
+			return
+		}
+		if p.done {
+			panic("sim: resuming finished process " + p.name)
+		}
+		p.ch <- struct{}{}
+		<-self.ch
+		return
+	}
+}
+
+// dispatchEnd dispatches from a process whose function has returned. It
+// passes the baton on and returns so the goroutine can exit; the process has
+// no future resume to wait for.
+func (k *Kernel) dispatchEnd() {
+	for {
+		next, ok := k.cal.peek()
+		if !ok || next.t > k.horizon {
+			k.mainCh <- struct{}{}
+			return
+		}
+		ev := k.cal.pop()
+		k.now = ev.t
+		p, ok := ev.h.(*Proc)
+		if !ok {
+			ev.h.Fire()
+			continue
+		}
+		if p.done {
+			panic("sim: resuming finished process " + p.name)
+		}
+		p.ch <- struct{}{}
+		return
+	}
+}
+
+// Pending reports the number of events still scheduled.
+func (k *Kernel) Pending() int { return k.cal.len() }
+
+// Events reports the total number of events ever scheduled — the natural
+// denominator for events-per-second throughput measurements.
+func (k *Kernel) Events() uint64 { return k.seq }

@@ -3,9 +3,10 @@ package sim
 import "fmt"
 
 // Proc is a simulation process: a goroutine that advances virtual time with
-// Sleep and blocks on Signals/Resources with Park. The kernel and all
-// processes hand control off explicitly so that exactly one of them runs at
-// any moment.
+// Sleep and blocks on Signals/Resources with Park. Control moves between
+// processes under the kernel's baton protocol (see kernel.go): a yielding
+// process dispatches further events itself and hands the kernel directly to
+// the next process due, over a single unbuffered channel per process.
 //
 // All Proc methods must be called from the process's own goroutine; all other
 // goroutines interact with a process only via Unpark (typically indirectly,
@@ -13,8 +14,7 @@ import "fmt"
 type Proc struct {
 	k      *Kernel
 	name   string
-	resume chan struct{} // kernel -> proc handoff
-	yield  chan struct{} // proc -> kernel handoff
+	ch     chan struct{} // resume token; receiving it = owning the kernel
 	done   bool
 	parked bool
 }
@@ -22,33 +22,24 @@ type Proc struct {
 // Go spawns fn as a new process starting at the current simulation time.
 // fn runs entirely inside the simulation; when it returns the process ends.
 func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{
-		k:      k,
-		name:   name,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
-	}
+	p := &Proc{k: k, name: name, ch: make(chan struct{})}
 	k.procs++
+	k.reg = append(k.reg, p)
 	go func() {
-		<-p.resume
+		<-p.ch
 		fn(p)
 		p.done = true
-		p.k.procs--
-		p.yield <- struct{}{}
+		k.procs--
+		k.dispatchEnd()
 	}()
-	k.After(0, func() { p.handoff() })
+	k.AfterProc(0, p)
 	return p
 }
 
-// handoff transfers control from the kernel to the process until its next
-// yield point. Called only from kernel (event) context.
-func (p *Proc) handoff() {
-	if p.done {
-		panic("sim: resuming finished process " + p.name)
-	}
-	p.resume <- struct{}{}
-	<-p.yield
-}
+// Fire implements Hook so a *Proc can sit directly in an event. The dispatch
+// loops recognize processes by type assertion and hand them the baton instead
+// of calling Fire; reaching it means an event bypassed dispatch.
+func (p *Proc) Fire() { panic("sim: Proc.Fire called outside dispatch") }
 
 // Name returns the process name given at spawn.
 func (p *Proc) Name() string { return p.name }
@@ -60,13 +51,28 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 func (p *Proc) Now() float64 { return p.k.now }
 
 // Sleep suspends the process for d seconds of simulation time.
+//
+// Fast path: when no pending event precedes the wake-up time, yielding to the
+// kernel would pop exactly this process's resume event and hand control
+// straight back, so the process advances the clock itself and keeps running —
+// no scheduling, no channel operations, no goroutine switches. This elides
+// the entire handoff during serialized phases (one active timeline) and is
+// exactly order-preserving: the relative (t, seq) order of all other events
+// is untouched.
 func (p *Proc) Sleep(d float64) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %v", d))
 	}
-	p.k.After(d, func() { p.handoff() })
-	p.yield <- struct{}{}
-	<-p.resume
+	k := p.k
+	t := k.now + d
+	if t <= k.horizon {
+		if next, ok := k.cal.peek(); !ok || next.t > t {
+			k.now = t
+			return
+		}
+	}
+	k.insert(t, p)
+	k.dispatch(p)
 }
 
 // SleepUntil suspends the process until absolute simulation time t. Times in
@@ -84,21 +90,27 @@ func (p *Proc) SleepUntil(t float64) {
 // kernel reports a deadlock otherwise.
 func (p *Proc) Park() {
 	p.parked = true
-	p.k.parked[p] = struct{}{}
-	p.yield <- struct{}{}
-	<-p.resume
+	p.k.nparked++
+	p.k.dispatch(p)
 }
 
 // Unpark schedules a parked process to resume at the current simulation
 // time. It panics if the process is not parked — that is always a
-// wait-list bookkeeping bug in the caller.
-func (p *Proc) Unpark() {
+// wait-list bookkeeping bug in the caller (for example unparking a process
+// whose resume event is already scheduled).
+func (p *Proc) Unpark() { p.UnparkAfter(0) }
+
+// UnparkAfter schedules a parked process to resume d seconds from now. It
+// lets a waker fold a wake-then-sleep sequence into a single resume when the
+// woken process would only burn a fixed delay before touching shared state —
+// one handoff instead of two.
+func (p *Proc) UnparkAfter(d float64) {
 	if !p.parked {
 		panic("sim: Unpark of non-parked process " + p.name)
 	}
 	p.parked = false
-	delete(p.k.parked, p)
-	p.k.After(0, func() { p.handoff() })
+	p.k.nparked--
+	p.k.AfterProc(d, p)
 }
 
 // Yield gives other events scheduled at the current instant a chance to run
@@ -142,11 +154,17 @@ func (s *Signal) Fired() bool { return s.fired }
 // Resource is a FIFO resource with fixed capacity (e.g. a server with a
 // bounded number of service slots). Processes Acquire a unit, hold it for
 // however long they model service taking, and Release it.
+//
+// The wait queue is a power-of-two ring buffer, so both Acquire and Release
+// are O(1) even under the 16K-deep queues a 1PFPP metadata server builds —
+// the former slice-shift Release made draining such a queue quadratic.
 type Resource struct {
 	capacity int
 	inUse    int
-	waiters  []*Proc
-	maxQueue int // high-water mark of the wait queue, for diagnostics
+	ring     []*Proc // waiters; len(ring) is a power of two
+	head     int     // index of the longest-waiting process
+	qlen     int     // number of waiters
+	maxQueue int     // high-water mark of the wait queue, for diagnostics
 }
 
 // NewResource returns a resource with the given capacity (> 0).
@@ -163,20 +181,39 @@ func (r *Resource) Acquire(p *Proc) {
 		r.inUse++
 		return
 	}
-	r.waiters = append(r.waiters, p)
-	if len(r.waiters) > r.maxQueue {
-		r.maxQueue = len(r.waiters)
+	if r.qlen == len(r.ring) {
+		r.grow()
+	}
+	r.ring[(r.head+r.qlen)&(len(r.ring)-1)] = p
+	r.qlen++
+	if r.qlen > r.maxQueue {
+		r.maxQueue = r.qlen
 	}
 	p.Park()
+}
+
+// grow doubles the ring, unwrapping the live window to the front.
+func (r *Resource) grow() {
+	size := 2 * len(r.ring)
+	if size == 0 {
+		size = 8
+	}
+	ring := make([]*Proc, size)
+	for i := 0; i < r.qlen; i++ {
+		ring[i] = r.ring[(r.head+i)&(len(r.ring)-1)]
+	}
+	r.ring = ring
+	r.head = 0
 }
 
 // Release returns one unit, handing it directly to the longest-waiting
 // process if any.
 func (r *Resource) Release() {
-	if len(r.waiters) > 0 {
-		p := r.waiters[0]
-		copy(r.waiters, r.waiters[1:])
-		r.waiters = r.waiters[:len(r.waiters)-1]
+	if r.qlen > 0 {
+		p := r.ring[r.head]
+		r.ring[r.head] = nil
+		r.head = (r.head + 1) & (len(r.ring) - 1)
+		r.qlen--
 		p.Unpark() // unit passes directly to p; inUse unchanged
 		return
 	}
@@ -190,7 +227,7 @@ func (r *Resource) Release() {
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen reports the number of processes waiting.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return r.qlen }
 
 // MaxQueue reports the highest number of simultaneous waiters observed.
 func (r *Resource) MaxQueue() int { return r.maxQueue }

@@ -140,8 +140,15 @@ type Hop struct {
 // a to b as the sequence of directed links traversed. Routing from a node to
 // itself returns an empty route.
 func (t Torus) Route(a, b int) []Hop {
+	return t.AppendRoute(make([]Hop, 0, t.Distance(a, b)), a, b)
+}
+
+// AppendRoute appends the route from a to b to dst and returns it, letting a
+// hot caller reuse one scratch slice across millions of transfers instead of
+// allocating a fresh route each time.
+func (t Torus) AppendRoute(dst []Hop, a, b int) []Hop {
 	ca, cb := t.Coord(a), t.Coord(b)
-	route := make([]Hop, 0, t.Distance(a, b))
+	route := dst
 	cur := ca
 	walk := func(get func(Coord) int, set func(*Coord, int), n int, plus, minus Dir, target int) {
 		hops, fwd := step(get(cur), target, n)
