@@ -15,16 +15,19 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/bbuf"
 	"repro/internal/bgp"
 	"repro/internal/cemfmt"
 	"repro/internal/ckpt"
 	"repro/internal/data"
 	"repro/internal/exp"
+	"repro/internal/fsys"
 	"repro/internal/gpfs"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
 	"repro/internal/nekcem"
 	"repro/internal/perf"
+	"repro/internal/pvfs"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/xrand"
@@ -576,6 +579,67 @@ func BenchmarkMicroGPFSWrite(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(4 << 20)
+}
+
+// BenchmarkStorageCommitPath measures the shared storage core's unified
+// write path (funnel, metadata/lock/data policy hooks, striped commit) under
+// each backend's policy composition: 4 MiB sequential writes on a 256-rank
+// partition, the same op for all three arms so the ns/op difference is the
+// policies'. The bbuf arm gets an unbounded buffer so it stays on the
+// absorption path instead of flipping to spill when the background drain
+// falls behind the writer. With BENCH_JSON set, all three arms are recorded
+// in BENCH_StorageCommitPath.json.
+func BenchmarkStorageCommitPath(b *testing.B) {
+	arms := []struct {
+		name  string
+		mount func(m *bgp.Machine) fsys.System
+	}{
+		{"gpfs", func(m *bgp.Machine) fsys.System { return gpfs.MustNew(m, gpfs.DefaultConfig()) }},
+		{"pvfs", func(m *bgp.Machine) fsys.System { return pvfs.MustNew(m, pvfs.DefaultConfig()) }},
+		{"bbuf", func(m *bgp.Machine) fsys.System {
+			cfg := bbuf.DefaultConfig()
+			cfg.BufferPerION = 1 << 62
+			return bbuf.MustNew(m, cfg)
+		}},
+	}
+	results := map[string]float64{}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			k := sim.NewKernel()
+			m := bgp.MustNew(k, xrand.New(1), bgp.Intrepid(256))
+			fs := arm.mount(m)
+			k.Go("w", func(p *sim.Proc) {
+				h, err := fs.Create(p, 0, "bench")
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				for i := 0; i < b.N; i++ {
+					if err := h.WriteAt(p, 0, int64(i)*4<<20, data.Synthetic(4<<20)); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			if err := k.Run(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.SetBytes(4 << 20)
+			results[arm.name] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		})
+	}
+	if os.Getenv("BENCH_JSON") != "" {
+		emitBench(b, "StorageCommitPath", perf.Benchmark{
+			NsPerOp: results["gpfs"],
+			Extra: map[string]float64{
+				"pvfs_ns_per_op": results["pvfs"],
+				"bbuf_ns_per_op": results["bbuf"],
+			},
+		})
+	}
 }
 
 // BenchmarkMicroHeaderMarshal measures checkpoint header encode+decode for

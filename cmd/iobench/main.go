@@ -10,6 +10,7 @@
 //	iobench -np 4096         # scaled-down sweep for a quick look
 //	iobench -quiet           # disable the shared-storage noise model
 //	iobench -seed 7          # different reproducible noise sample
+//	iobench -fs bbuf         # run the checkpoint experiments on another backend
 package main
 
 import (
@@ -26,16 +27,22 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment to run: all, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, eq1, eq7, meshread, fscompare, priorwork, restart, multilevel, ablations")
+		which    = flag.String("exp", "all", "experiment to run: all, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, eq1, eq7, meshread, fscompare, drainoverlap, priorwork, restart, multilevel, ablations")
 		np       = flag.Int("np", 0, "override the processor sweep with a single count (0 = paper scale 16K/32K/64K)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		quiet    = flag.Bool("quiet", false, "disable the shared-storage noise model")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "experiment worker-pool size (1 = serial); results are identical at any setting")
+		fsName   = flag.String("fs", "gpfs", "storage backend for checkpoint experiments: gpfs, pvfs, bbuf (fscompare, drainoverlap and the GPFS-knob ablations/priorwork pick their own backends)")
 	)
 	flag.Parse()
 	perf.TuneGC()
 
-	o := exp.Options{Seed: *seed, Quiet: *quiet, Parallel: *parallel}
+	if !exp.KnownFS(*fsName) {
+		fmt.Fprintf(os.Stderr, "unknown file system %q (valid: %s)\n", *fsName, strings.Join(exp.FileSystems, ", "))
+		os.Exit(2)
+	}
+
+	o := exp.Options{Seed: *seed, Quiet: *quiet, Parallel: *parallel, FS: *fsName}
 	if *np > 0 {
 		o.NPs = []int{*np}
 	}
@@ -202,6 +209,20 @@ func main() {
 		return nil
 	})
 
+	run("drainoverlap", func() error {
+		np16 := 16384
+		if len(o.NPs) == 1 {
+			np16 = o.NPs[0]
+		}
+		rows, err := exp.DrainOverlap(o, np16)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Extension: rbIO commit overlap, GPFS write-behind vs ION burst buffer ==")
+		fmt.Println(exp.DrainOverlapTable(rows))
+		return nil
+	})
+
 	run("priorwork", func() error {
 		rows, err := exp.PriorWorkBGL(o)
 		if err != nil {
@@ -273,7 +294,7 @@ func main() {
 
 // ran reports whether the name is a known experiment (for the error path).
 func ran(name string) bool {
-	known := "all fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table1 eq1 eq7 meshread fscompare priorwork restart multilevel ablations"
+	known := "all fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table1 eq1 eq7 meshread fscompare drainoverlap priorwork restart multilevel ablations"
 	for _, k := range strings.Fields(known) {
 		if name == k {
 			return true

@@ -1,0 +1,318 @@
+// Package bbuf models an ION-side burst buffer layered over Intrepid's
+// shared storage — the checkpointing architecture of later systems (per
+// Wang et al.'s burst-buffer system and Gossman et al.'s aggregated
+// asynchronous checkpointing), retrofitted onto the paper's machine model.
+// Writes are absorbed into I/O-node-local memory at memory speed and
+// drained to the shared file servers in the background; the application
+// perceives only the absorption. When a node's buffer fills, writes spill
+// to the synchronous path until drains free space.
+//
+// The package contains no storage-path mechanism of its own: it is a policy
+// composition over internal/storage — hashed-distributed metadata
+// (storage.HashedMDS), no locking (storage.LockFree), and a burst-buffer
+// data path (the one policy defined here). The spill path literally reuses
+// storage.StripeSync, and the drain's striped-commit math is the same
+// revolution grouping the PVFS policy uses — the shared core is what makes
+// this backend ~200 lines instead of a third copy of the storage path.
+package bbuf
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bgp"
+	"repro/internal/fabric"
+	"repro/internal/fsys"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Errors returned by namespace operations.
+var (
+	ErrNotExist = errors.New("bbuf: file does not exist")
+	ErrExists   = errors.New("bbuf: file already exists")
+	ErrClosed   = errors.New("bbuf: handle is closed")
+)
+
+// Stats aggregates observable file system activity (the shared storage-core
+// counters).
+type Stats = storage.Stats
+
+// Handle is an open file descriptor.
+type Handle = storage.Handle
+
+// Config holds the burst-buffer model parameters. The shared-server side
+// mirrors the PVFS volume (same DDN arrays); the buffer parameters are the
+// ION-local tier.
+type Config struct {
+	StripeSize int64   // stripe unit toward the shared servers
+	NumServers int     // shared file servers behind the drain
+	ServerBW   float64 // per-server bandwidth available to this application
+	ServerLat  float64 // per-request server latency
+
+	// ClientStreamBW caps one rank's CIOD proxy stream into the ION. With a
+	// memory-speed buffer behind it, this — not the servers — is what the
+	// application perceives.
+	ClientStreamBW float64
+
+	// Metadata costs (hashed-distributed, PVFS-style).
+	CreateBase float64
+	OpenBase   float64
+	CloseBase  float64
+
+	// BufferPerION is each I/O node's buffer capacity. Writes that fit are
+	// absorbed at BufferBW and drained in the background; writes that would
+	// overflow spill to the synchronous path until drains free space.
+	BufferPerION int64
+	BufferBW     float64 // ION-local absorption bandwidth (memory/NVRAM speed)
+	DrainBW      float64 // background drain rate per ION toward the servers
+
+	// Noise: same shared-storage heavy-tail model as the other backends
+	// (drained and spilled requests hit the same shared arrays).
+	NoiseProb      float64
+	NoiseAlpha     float64
+	NoiseScale     float64
+	NoiseConcRef   float64
+	NoiseGamma     float64
+	NoiseMaxFactor float64
+}
+
+// DefaultConfig returns the burst-buffer-on-Intrepid model parameters: a
+// 2 GiB buffer per ION (the BG/P ION memory class), absorption near memory
+// speed, and a background drain pacing itself below the 10 GbE NIC so it
+// coexists with foreground traffic.
+func DefaultConfig() Config {
+	return Config{
+		StripeSize:     4 << 20,
+		NumServers:     128,
+		ServerBW:       140e6,
+		ServerLat:      2e-3,
+		ClientStreamBW: 300e6,
+		CreateBase:     0.8e-3,
+		OpenBase:       0.5e-3,
+		CloseBase:      0.2e-3,
+		BufferPerION:   2 << 30,
+		BufferBW:       2e9,
+		DrainBW:        250e6,
+		NoiseProb:      0.0015,
+		NoiseAlpha:     1.9,
+		NoiseScale:     0.3,
+		NoiseConcRef:   5000,
+		NoiseGamma:     8,
+		NoiseMaxFactor: 20,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.StripeSize <= 0 {
+		return fmt.Errorf("bbuf: stripe size must be positive")
+	}
+	if c.NumServers <= 0 {
+		return fmt.Errorf("bbuf: need at least one server")
+	}
+	if c.ServerBW <= 0 || c.ClientStreamBW <= 0 {
+		return fmt.Errorf("bbuf: bandwidths must be positive")
+	}
+	if c.BufferPerION < 0 {
+		return fmt.Errorf("bbuf: buffer capacity must be non-negative")
+	}
+	if c.BufferBW <= 0 || c.DrainBW <= 0 {
+		return fmt.Errorf("bbuf: buffer bandwidths must be positive")
+	}
+	return nil
+}
+
+// FileSystem is a mounted burst-buffer file system: the shared storage core
+// composed with hashed metadata, no locks, and the burst-buffer data path.
+// It implements fsys.System.
+type FileSystem struct {
+	*storage.Core
+	cfg  Config
+	path *burstPath
+}
+
+var _ fsys.System = (*FileSystem)(nil)
+
+// New mounts a burst-buffer file system on the machine.
+func New(m *bgp.Machine, cfg Config) (*FileSystem, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	path := &burstPath{cfg: cfg}
+	core, err := storage.New(m, storage.Config{
+		BlockSize:      cfg.StripeSize,
+		NumServers:     cfg.NumServers,
+		ServerBW:       cfg.ServerBW,
+		ServerLat:      cfg.ServerLat,
+		ClientStreamBW: cfg.ClientStreamBW,
+		ServerName:     "bbsrv",
+		NoiseProb:      cfg.NoiseProb,
+		NoiseAlpha:     cfg.NoiseAlpha,
+		NoiseScale:     cfg.NoiseScale,
+		NoiseConcRef:   cfg.NoiseConcRef,
+		NoiseGamma:     cfg.NoiseGamma,
+		NoiseMaxFactor: cfg.NoiseMaxFactor,
+	}, storage.Backend{
+		Name: "bbuf",
+		Metadata: &storage.HashedMDS{
+			CreateBase: cfg.CreateBase,
+			OpenBase:   cfg.OpenBase,
+			CloseBase:  cfg.CloseBase,
+		},
+		Concurrency: storage.LockFree{},
+		Data:        path,
+		Errors:      storage.Errors{NotExist: ErrNotExist, Exists: ErrExists, Closed: ErrClosed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FileSystem{Core: core, cfg: cfg, path: path}, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(m *bgp.Machine, cfg Config) *FileSystem {
+	fs, err := New(m, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return fs
+}
+
+// Config returns the mounted configuration.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// Buffer returns the burst-buffer tier's counters.
+func (fs *FileSystem) Buffer() BufferStats { return fs.path.stats }
+
+// BufferedBytes returns the bytes currently held in ION buffers awaiting
+// drain.
+func (fs *FileSystem) BufferedBytes() int64 {
+	var total int64
+	for _, u := range fs.path.used {
+		total += u
+	}
+	return total
+}
+
+// BufferStats aggregates the burst-buffer tier's activity.
+type BufferStats struct {
+	AbsorbedBytes int64   // bytes absorbed into ION buffers
+	SpilledBytes  int64   // bytes that bypassed a full buffer synchronously
+	DrainedBytes  int64   // bytes whose background drain has completed
+	LastDrainEnd  float64 // when the last completed drain reached the servers
+	PeakUsedBytes int64   // high-water mark of any single ION's buffer
+}
+
+// burstPath is the burst-buffer write-path policy. Absorption counts as
+// completion for the application (Sync and Close do not wait for drains —
+// the buffer tier is the durability boundary, as in SCR-style multi-level
+// checkpointing), so it never registers outstanding commits on the handle.
+type burstPath struct {
+	cfg    Config
+	absorb []*fabric.Pipe // per-ION absorption pipe (memory-speed)
+	drain  []*fabric.Pipe // per-ION background drain pipe
+	used   []int64        // per-ION bytes buffered, awaiting drain
+	stats  BufferStats
+}
+
+var _ storage.DataPath = (*burstPath)(nil)
+
+func (d *burstPath) init(c *storage.Core) {
+	if d.absorb != nil {
+		return
+	}
+	n := c.Machine().NumPsets()
+	d.absorb = make([]*fabric.Pipe, n)
+	d.drain = make([]*fabric.Pipe, n)
+	d.used = make([]int64, n)
+	for i := 0; i < n; i++ {
+		d.absorb[i] = fabric.NewPipe(fmt.Sprintf("bb/ion%d", i), 0, d.cfg.BufferBW)
+		d.drain[i] = fabric.NewPipe(fmt.Sprintf("bbdrain/ion%d", i), 0, d.cfg.DrainBW)
+	}
+}
+
+// Commit implements storage.DataPath. A write that fits the ION's buffer is
+// absorbed at memory speed and drained in the background; one that would
+// overflow takes the synchronous stripe path (storage.StripeSync) end to
+// end, exactly like a cache-off PVFS write.
+func (d *burstPath) Commit(c *storage.Core, h *storage.Handle, rank int, streamEnd float64, off, n int64) func(*sim.Proc) {
+	d.init(c)
+	ion := c.Machine().PsetOfRank(rank)
+	if d.cfg.BufferPerION <= 0 || d.used[ion]+n > d.cfg.BufferPerION {
+		d.stats.SpilledBytes += n
+		return storage.StripeSync{}.Commit(c, h, rank, streamEnd, off, n)
+	}
+	d.used[ion] += n
+	if d.used[ion] > d.stats.PeakUsedBytes {
+		d.stats.PeakUsedBytes = d.used[ion]
+	}
+	d.stats.AbsorbedBytes += n
+	// The buffer ingests the stream as it delivers; the caller perceives
+	// the later of stream completion and the buffer's own serialization.
+	cfg := c.Config()
+	start := streamEnd - float64(n)/cfg.ClientStreamBW
+	if now := c.Kernel().Now(); start < now {
+		start = now
+	}
+	_, absorbEnd := d.absorb[ion].Transfer(start, n)
+	if absorbEnd < streamEnd {
+		absorbEnd = streamEnd
+	}
+	d.drainOut(c, h, ion, absorbEnd, off, n)
+	return func(p *sim.Proc) { p.SleepUntil(absorbEnd) }
+}
+
+// drainOut schedules the background drain of an absorbed write: the ION's
+// drain pacing, the Ethernet hop, then revolution-grouped striped server
+// commits — the same shared-array charging as a foreground commit, just
+// decoupled from the application. Buffer space frees when the drain lands.
+func (d *burstPath) drainOut(c *storage.Core, h *storage.Handle, ion int, ready float64, off, n int64) {
+	cfg := c.Config()
+	m := c.Machine()
+	f := h.File()
+	drainStart, _ := d.drain[ion].Transfer(ready, n)
+	spikeP := c.SpikeProb()
+	ss := cfg.BlockSize
+	servers := c.Servers()
+	revolution := ss * int64(len(servers))
+	end := ready
+	var cum int64
+	for lo := off; lo < off+n; {
+		hi := off + n
+		if r := (lo/revolution + 1) * revolution; r < hi {
+			hi = r
+		}
+		span := hi - lo
+		cum += span
+		deliver := drainStart + float64(cum)/d.cfg.DrainBW
+		ethEnd := m.Eth.Transfer(deliver, ion, span)
+		perServer := span / int64(len(servers))
+		if perServer == 0 {
+			perServer = span
+		}
+		srv := c.ServerFor(f, lo/ss)
+		_, e := srv.Pipe().Transfer(ethEnd, perServer)
+		e += c.DrawSpike(srv, spikeP)
+		if e > end {
+			end = e
+		}
+		lo = hi
+	}
+	c.ScheduleDrain(end)
+	done := end
+	c.Kernel().At(done, func() {
+		d.used[ion] -= n
+		d.stats.DrainedBytes += n
+		if done > d.stats.LastDrainEnd {
+			d.stats.LastDrainEnd = done
+		}
+	})
+}
+
+// Read implements storage.DataPath: restarts read from the shared servers
+// (drains have long since landed by restart time), over the standard
+// striped return path.
+func (d *burstPath) Read(p *sim.Proc, c *storage.Core, h *storage.Handle, rank int, off, n int64) {
+	c.ChargeStripedRead(p, h.File(), rank, off, n)
+}

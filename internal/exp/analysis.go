@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/ckpt"
-	"repro/internal/gpfs"
 	"repro/internal/mpi"
 	"repro/internal/nekcem"
 	"repro/internal/sim"
@@ -35,11 +34,7 @@ func production(o Options, np, nc int, strat ckpt.Strategy) (wall, ratio float64
 	if err != nil {
 		return 0, 0, err
 	}
-	gcfg := gpfs.DefaultConfig()
-	if o.Quiet {
-		gcfg.NoiseProb = 0
-	}
-	fs, err := gpfs.New(m, gcfg)
+	fs, _, err := buildFS(o, m, o.FS)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -108,11 +103,11 @@ type SpeedupResult struct {
 
 // Speedup measures Equations (2)-(7) at the given processor count.
 func Speedup(o Options, np int) (*SpeedupResult, error) {
-	co, err := runCheckpoint(o, np, ckpt.CoIO{NumFiles: np / 64, Hints: defaultHints()}, false)
+	co, err := runCheckpoint(o, Job{NP: np, Strategy: ckpt.CoIO{NumFiles: np / 64, Hints: defaultHints()}})
 	if err != nil {
 		return nil, err
 	}
-	rb, err := runCheckpoint(o, np, DefaultRbIOWithGroup(64), false)
+	rb, err := runCheckpoint(o, Job{NP: np, Strategy: DefaultRbIOWithGroup(64)})
 	if err != nil {
 		return nil, err
 	}
@@ -172,11 +167,7 @@ func MeshRead(o Options, cases ...MeshReadRow) ([]MeshReadRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		gcfg := gpfs.DefaultConfig()
-		if o.Quiet {
-			gcfg.NoiseProb = 0
-		}
-		fs, err := gpfs.New(m, gcfg)
+		fs, _, err := buildFS(o, m, o.FS)
 		if err != nil {
 			return nil, err
 		}

@@ -45,3 +45,49 @@ func TestFig5DeterministicAcrossGOMAXPROCS(t *testing.T) {
 		t.Errorf("GOMAXPROCS=1 with 4 workers differs:\n%s\nvs\n%s", got, ref)
 	}
 }
+
+// fscompareAt renders the three-backend comparison table at a reduced scale
+// with the given worker-pool size.
+func fscompareAt(t *testing.T, parallel int) string {
+	t.Helper()
+	rows, err := FSComparison(Options{Seed: 1, NPs: []int{512}, Parallel: parallel}, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FSComparisonTable(rows)
+}
+
+// TestFSComparisonDeterministicAcrossWorkers extends the reproducibility
+// regression to the pvfs and bbuf arms: every cell of the backend
+// comparison — including the burst buffer's background drains, which
+// schedule kernel callbacks long after the writers return — must print
+// byte-identically regardless of the worker-pool size.
+func TestFSComparisonDeterministicAcrossWorkers(t *testing.T) {
+	ref := fscompareAt(t, 1)
+	if got := fscompareAt(t, 1); got != ref {
+		t.Errorf("serial rerun differs:\n%s\nvs\n%s", got, ref)
+	}
+	if got := fscompareAt(t, 4); got != ref {
+		t.Errorf("4-worker pool differs:\n%s\nvs\n%s", got, ref)
+	}
+	if got := fscompareAt(t, runtime.NumCPU()); got != ref {
+		t.Errorf("NumCPU pool differs:\n%s\nvs\n%s", got, ref)
+	}
+}
+
+// TestDrainOverlapDeterministicAcrossWorkers pins the drain-overlap
+// experiment the same way: the bbuf arm's drain-tail arithmetic reads the
+// buffer tier's counters after the run, which must not depend on pool size.
+func TestDrainOverlapDeterministicAcrossWorkers(t *testing.T) {
+	at := func(parallel int) string {
+		rows, err := DrainOverlap(Options{Seed: 1, NPs: []int{512}, Parallel: parallel}, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return DrainOverlapTable(rows)
+	}
+	ref := at(1)
+	if got := at(4); got != ref {
+		t.Errorf("4-worker pool differs:\n%s\nvs\n%s", got, ref)
+	}
+}

@@ -90,7 +90,7 @@ func Fig9(o Options) (*Distribution, error) {
 	if len(o.NPs) == 1 {
 		np = o.NPs[0]
 	}
-	r, err := runCheckpoint(o, np, ckpt.OnePFPP{}, false)
+	r, err := runCheckpoint(o, Job{NP: np, Strategy: ckpt.OnePFPP{}})
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +105,7 @@ func Fig10(o Options) (*Distribution, error) {
 	if len(o.NPs) == 1 {
 		np = o.NPs[0]
 	}
-	r, err := runCheckpoint(o, np, ckpt.CoIO{NumFiles: np / 64, Hints: mpiio.DefaultHints()}, false)
+	r, err := runCheckpoint(o, Job{NP: np, Strategy: ckpt.CoIO{NumFiles: np / 64, Hints: mpiio.DefaultHints()}})
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +119,7 @@ func Fig11(o Options) (*Distribution, error) {
 	if len(o.NPs) == 1 {
 		np = o.NPs[0]
 	}
-	r, err := runCheckpoint(o, np, DefaultRbIOWithGroup(64), false)
+	r, err := runCheckpoint(o, Job{NP: np, Strategy: DefaultRbIOWithGroup(64)})
 	if err != nil {
 		return nil, err
 	}
@@ -143,11 +143,11 @@ func Fig12(o Options) ([]Fig12Row, error) {
 		np = o.NPs[0]
 	}
 	const dt = 0.5
-	rb, err := runCheckpoint(o, np, DefaultRbIOWithGroup(64), true)
+	rb, err := runCheckpoint(o, Job{NP: np, Strategy: DefaultRbIOWithGroup(64), WithLog: true})
 	if err != nil {
 		return nil, err
 	}
-	co, err := runCheckpoint(o, np, ckpt.CoIO{NumFiles: np / 64, Hints: mpiio.DefaultHints()}, true)
+	co, err := runCheckpoint(o, Job{NP: np, Strategy: ckpt.CoIO{NumFiles: np / 64, Hints: mpiio.DefaultHints()}, WithLog: true})
 	if err != nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/bbuf"
 	"repro/internal/bgp"
 	"repro/internal/ckpt"
 	"repro/internal/gpfs"
@@ -32,6 +33,11 @@ type Options struct {
 	// Quiet disables the shared-storage noise model (the paper ran under
 	// normal load; Quiet is the ablation).
 	Quiet bool
+	// FS selects the storage backend checkpoint experiments run against:
+	// "gpfs" (the default, also chosen by ""), "pvfs", or "bbuf". Experiments
+	// that sweep GPFS-specific knobs (the ablations, prior work) always use
+	// gpfs regardless.
+	FS string
 	// Parallel is the worker-pool size for experiment sets (RunSet/RunAll):
 	// 0 means one worker per CPU, 1 forces serial execution. Simulations are
 	// deterministic per-run, so the worker count changes wall-clock time
@@ -87,35 +93,39 @@ type Run struct {
 	Log     *iolog.Log
 	Result  *nekcem.RunResult
 	FSStats gpfs.Stats
-	Events  uint64 // kernel events dispatched over the whole simulation
+	Buffer  *bbuf.BufferStats // burst-buffer tier counters; nil unless FS was bbuf
+	Events  uint64            // kernel events dispatched over the whole simulation
 }
 
-// runCheckpoint executes exactly one coordinated checkpoint step of strat on
-// an np-rank Intrepid partition and returns the measurements. withLog
-// controls whether per-op records are collected (they cost memory at 64K).
-func runCheckpoint(o Options, np int, strat ckpt.Strategy, withLog bool) (*Run, error) {
+// runCheckpoint executes exactly one coordinated checkpoint step of the
+// job's strategy on an np-rank Intrepid partition, against the backend the
+// job (or, if the job leaves it empty, the options) selects, and returns the
+// measurements. Job.WithLog controls whether per-op records are collected
+// (they cost memory at 64K).
+func runCheckpoint(o Options, j Job) (*Run, error) {
+	np := j.NP
+	fsName := j.FS
+	if fsName == "" {
+		fsName = o.FS
+	}
 	k := sim.NewKernel()
 	rng := xrand.New(o.seed() ^ uint64(np)*0x9e37)
 	m, err := bgp.New(k, rng, bgp.Intrepid(np))
 	if err != nil {
 		return nil, err
 	}
-	gcfg := gpfs.DefaultConfig()
-	if o.Quiet {
-		gcfg.NoiseProb = 0
-	}
-	fs, err := gpfs.New(m, gcfg)
+	fs, stats, err := buildFS(o, m, fsName)
 	if err != nil {
 		return nil, err
 	}
 	w := mpi.NewWorld(m, mpi.DefaultConfig())
 	var log *iolog.Log
-	if withLog {
+	if j.WithLog {
 		log = &iolog.Log{}
 	}
 	res, err := nekcem.Run(w, fs, nekcem.RunConfig{
 		Mesh:            nekcem.PaperMesh(np),
-		Strategy:        strat,
+		Strategy:        j.Strategy,
 		Dir:             "ckpt",
 		Steps:           1,
 		CheckpointEvery: 1,
@@ -126,21 +136,26 @@ func runCheckpoint(o Options, np int, strat ckpt.Strategy, withLog bool) (*Run, 
 		Log:             log,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("exp: %s at np=%d: %w", strat.Name(), np, err)
+		return nil, fmt.Errorf("exp: %s on %s at np=%d: %w", j.Strategy.Name(), fs.Name(), np, err)
 	}
 	if len(res.Checkpoints) != 1 {
 		return nil, fmt.Errorf("exp: expected 1 checkpoint, got %d", len(res.Checkpoints))
 	}
-	return &Run{
+	r := &Run{
 		NP:      np,
 		S:       res.Checkpoints[0].Bytes,
 		Agg:     res.Checkpoints[0],
 		PerRank: res.PerRank,
 		Log:     log,
 		Result:  res,
-		FSStats: fs.Stats,
+		FSStats: *stats,
 		Events:  k.Events(),
-	}, nil
+	}
+	if b, ok := fs.(*bbuf.FileSystem); ok {
+		st := b.Buffer()
+		r.Buffer = &st
+	}
+	return r, nil
 }
 
 // FormatTable renders rows as an aligned text table.

@@ -275,7 +275,7 @@ func TestFSComparisonSmallScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 6 {
+	if len(rows) != 9 {
 		t.Fatalf("%d rows", len(rows))
 	}
 	byKey := map[string]FSRow{}
@@ -295,7 +295,42 @@ func TestFSComparisonSmallScale(t *testing.T) {
 		t.Fatalf("PVFS 1PFPP (%.1f s) not faster than GPFS 1PFPP (%.1f s)",
 			byKey["pvfs/1PFPP"].StepSec, byKey["gpfs/1PFPP"].StepSec)
 	}
+	// The burst buffer absorbs at ION memory speed, so its perceived rbIO
+	// bandwidth must clear both shared-array backends.
+	if byKey["bbuf/rbIO(64:1,nf=ng)"].GBps <= byKey["gpfs/rbIO(64:1,nf=ng)"].GBps {
+		t.Fatalf("bbuf rbIO (%.2f) not ahead of GPFS rbIO (%.2f)",
+			byKey["bbuf/rbIO(64:1,nf=ng)"].GBps, byKey["gpfs/rbIO(64:1,nf=ng)"].GBps)
+	}
 	if !strings.Contains(FSComparisonTable(rows), "file system") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestDrainOverlapSmallScale(t *testing.T) {
+	rows, err := DrainOverlap(quickOpts(), 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	g, b := rows[0], rows[1]
+	if g.FS != "gpfs" || b.FS != "bbuf" {
+		t.Fatalf("unexpected row order: %+v", rows)
+	}
+	// The experiment's point: absorption shrinks the writers' blocking well
+	// below what even write-behind GPFS can manage...
+	if b.WriterSec*2 > g.WriterSec {
+		t.Fatalf("bbuf writer blocking %.2f s not well below gpfs %.2f s", b.WriterSec, g.WriterSec)
+	}
+	// ...by moving the shared-array commit into a background drain tail.
+	if b.DrainTailSec <= g.DrainTailSec {
+		t.Fatalf("bbuf drain tail %.2f s not above gpfs %.2f s", b.DrainTailSec, g.DrainTailSec)
+	}
+	if b.DurableGBps <= 0 || g.DurableGBps <= 0 {
+		t.Fatalf("non-positive durable bandwidth: %+v", rows)
+	}
+	if !strings.Contains(DrainOverlapTable(rows), "drain tail (s)") {
 		t.Fatal("table header missing")
 	}
 }

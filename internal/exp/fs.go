@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bbuf"
+	"repro/internal/bgp"
+	"repro/internal/fsys"
+	"repro/internal/gpfs"
+	"repro/internal/pvfs"
+	"repro/internal/storage"
+)
+
+// FileSystems lists the selectable storage backends, in presentation order.
+// Every backend is a policy composition over the shared storage core
+// (internal/storage), so each experiment runs unchanged on any of them.
+var FileSystems = []string{"gpfs", "pvfs", "bbuf"}
+
+// KnownFS reports whether name selects a backend. The empty string selects
+// the default (gpfs).
+func KnownFS(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, n := range FileSystems {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// buildFS mounts the backend named by name ("" = gpfs) on the machine with
+// its default configuration, applying the Quiet ablation, and returns it
+// along with a pointer to its live storage-core counters.
+func buildFS(o Options, m *bgp.Machine, name string) (fsys.System, *storage.Stats, error) {
+	switch name {
+	case "", "gpfs":
+		cfg := gpfs.DefaultConfig()
+		if o.Quiet {
+			cfg.NoiseProb = 0
+		}
+		fs, err := gpfs.New(m, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fs, &fs.Stats, nil
+	case "pvfs":
+		cfg := pvfs.DefaultConfig()
+		if o.Quiet {
+			cfg.NoiseProb = 0
+		}
+		fs, err := pvfs.New(m, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fs, &fs.Stats, nil
+	case "bbuf":
+		cfg := bbuf.DefaultConfig()
+		if o.Quiet {
+			cfg.NoiseProb = 0
+		}
+		fs, err := bbuf.New(m, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fs, &fs.Stats, nil
+	}
+	return nil, nil, fmt.Errorf("exp: unknown file system %q (valid: %s)", name, strings.Join(FileSystems, ", "))
+}

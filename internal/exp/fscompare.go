@@ -3,22 +3,16 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/bgp"
 	"repro/internal/ckpt"
-	"repro/internal/fsys"
-	"repro/internal/gpfs"
-	"repro/internal/mpi"
-	"repro/internal/nekcem"
-	"repro/internal/pvfs"
-	"repro/internal/sim"
-	"repro/internal/xrand"
 )
 
-// FSRow is one (file system, strategy) measurement of the GPFS-versus-PVFS
+// FSRow is one (file system, strategy) measurement of the backend
 // comparison the paper wanted to run (Section V-C1) but could not measure
 // fairly on the real machine because PVFS ran with client caching disabled.
 // The simulation can hold everything else fixed, which is exactly what the
 // paper says made the hardware comparison "weak and pointless" to publish.
+// The burst-buffer arm extends the comparison to the ION-local tier later
+// systems added.
 type FSRow struct {
 	FS       string
 	Strategy string
@@ -27,59 +21,37 @@ type FSRow struct {
 	StepSec  float64
 }
 
-// FSComparison runs the paper's two strongest strategies on both file
-// system models at the given processor count.
+// FSComparison runs the paper's strongest strategies on every backend at
+// the given processor count.
 func FSComparison(o Options, np int) ([]FSRow, error) {
+	return FSComparisonOn(o, np, FileSystems...)
+}
+
+// FSComparisonOn runs the comparison on the named backends only. Each
+// (backend, strategy) cell is an independent simulation, so the cells run on
+// the experiment worker pool; results are identical at any pool size.
+func FSComparisonOn(o Options, np int, fsNames ...string) ([]FSRow, error) {
 	strategies := []ckpt.Strategy{
 		ckpt.DefaultRbIO(),
 		ckpt.CoIO{NumFiles: np / 64, Hints: defaultHints()},
 		ckpt.OnePFPP{},
 	}
-	var rows []FSRow
-	for _, fsName := range []string{"gpfs", "pvfs"} {
+	var jobs []Job
+	for _, fsName := range fsNames {
 		for _, strat := range strategies {
-			k := sim.NewKernel()
-			m, err := bgp.New(k, xrand.New(o.seed()^uint64(np)*0x9e37), bgp.Intrepid(np))
-			if err != nil {
-				return nil, err
-			}
-			var fs fsys.System
-			if fsName == "gpfs" {
-				cfg := gpfs.DefaultConfig()
-				if o.Quiet {
-					cfg.NoiseProb = 0
-				}
-				fs, err = gpfs.New(m, cfg)
-			} else {
-				cfg := pvfs.DefaultConfig()
-				if o.Quiet {
-					cfg.NoiseProb = 0
-				}
-				fs, err = pvfs.New(m, cfg)
-			}
-			if err != nil {
-				return nil, err
-			}
-			w := mpi.NewWorld(m, mpi.DefaultConfig())
-			res, err := nekcem.Run(w, fs, nekcem.RunConfig{
-				Mesh:            nekcem.PaperMesh(np),
-				Strategy:        strat,
-				Dir:             "ckpt",
-				Steps:           1,
-				CheckpointEvery: 1,
-				Synthetic:       true,
-				SkipPresetup:    true,
-				PayloadFactor:   nekcem.PaperPayloadFactor,
-				Compute:         nekcem.DefaultComputeModel(),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("exp: %s on %s: %w", strat.Name(), fsName, err)
-			}
-			c := res.Checkpoints[0]
-			rows = append(rows, FSRow{
-				FS: fsName, Strategy: strat.Name(), NP: np,
-				GBps: GB(c.Bandwidth()), StepSec: c.StepTime(),
-			})
+			jobs = append(jobs, Job{NP: np, Strategy: strat, FS: fsName})
+		}
+	}
+	runs, err := RunSet(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]FSRow, len(runs))
+	for i, r := range runs {
+		c := r.Agg
+		rows[i] = FSRow{
+			FS: jobs[i].FS, Strategy: jobs[i].Strategy.Name(), NP: np,
+			GBps: GB(c.Bandwidth()), StepSec: c.StepTime(),
 		}
 	}
 	return rows, nil

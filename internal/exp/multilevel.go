@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/ckpt"
-	"repro/internal/gpfs"
 	"repro/internal/mpi"
 	"repro/internal/nekcem"
 	"repro/internal/sim"
@@ -46,11 +45,7 @@ func MultiLevelStudy(o Options, np int) ([]MLRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		gcfg := gpfs.DefaultConfig()
-		if o.Quiet {
-			gcfg.NoiseProb = 0
-		}
-		fs, err := gpfs.New(m, gcfg)
+		fs, _, err := buildFS(o, m, o.FS)
 		if err != nil {
 			return nil, err
 		}

@@ -38,11 +38,7 @@ func RestartStudy(o Options, np int) ([]RestartRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		gcfg := gpfs.DefaultConfig()
-		if o.Quiet {
-			gcfg.NoiseProb = 0
-		}
-		fs, err := gpfs.New(m, gcfg)
+		fs, _, err := buildFS(o, m, o.FS)
 		if err != nil {
 			return nil, err
 		}

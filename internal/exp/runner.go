@@ -14,7 +14,8 @@ import (
 type Job struct {
 	NP       int
 	Strategy ckpt.Strategy
-	WithLog  bool // collect per-op records (costs memory at 64K)
+	WithLog  bool   // collect per-op records (costs memory at 64K)
+	FS       string // storage backend; "" defers to Options.FS (default gpfs)
 }
 
 // workers resolves the worker-pool size: the Parallel option, defaulting to
@@ -41,7 +42,7 @@ func RunSet(o Options, jobs []Job) ([]*Run, error) {
 	}
 	if nw <= 1 {
 		for i, j := range jobs {
-			r, err := runCheckpoint(o, j.NP, j.Strategy, j.WithLog)
+			r, err := runCheckpoint(o, j)
 			if err != nil {
 				return nil, err
 			}
@@ -65,7 +66,7 @@ func RunSet(o Options, jobs []Job) ([]*Run, error) {
 				if i >= len(jobs) || failed.Load() {
 					return
 				}
-				r, err := runCheckpoint(o, jobs[i].NP, jobs[i].Strategy, jobs[i].WithLog)
+				r, err := runCheckpoint(o, jobs[i])
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)

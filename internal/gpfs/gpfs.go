@@ -20,22 +20,22 @@
 //   - The 64K coIO drop: heavy-tail service-time spikes whose probability
 //     grows with the number of concurrently writing clients.
 //
-// All I/O passes through the machine's fabrics: compute node -> pset tree
-// funnel -> ION -> 10 GbE -> file server, so network funneling is charged
-// faithfully too.
+// The storage-path mechanism — striping, per-server queues, the compute
+// node -> pset tree funnel -> ION -> 10 GbE -> file server charging, the
+// noise model — lives in internal/storage; this package is the GPFS policy
+// composition over it: a centralized directory-scanning metadata server
+// (storage.CentralizedMDS), a byte-range token manager
+// (storage.TokenManager), and a write-behind block pipeline
+// (storage.BlockPipeline).
 package gpfs
 
 import (
 	"errors"
 	"fmt"
-	"strings"
 
 	"repro/internal/bgp"
-	"repro/internal/data"
-	"repro/internal/fabric"
 	"repro/internal/fsys"
-	"repro/internal/sim"
-	"repro/internal/xrand"
+	"repro/internal/storage"
 )
 
 // FileSystem implements fsys.System.
@@ -47,6 +47,15 @@ var (
 	ErrExists   = errors.New("gpfs: file already exists")
 	ErrClosed   = errors.New("gpfs: handle is closed")
 )
+
+// Stats aggregates observable file system activity. It is the shared
+// storage-core stats type: every counter the GPFS policies touch is here.
+type Stats = storage.Stats
+
+// Handle is an open file descriptor. Handles may be shared across ranks
+// (collective opens hand the same handle to every rank), mirroring MPI-IO
+// shared file handles.
+type Handle = storage.Handle
 
 // Config holds the file system model parameters. Bandwidths are bytes/s,
 // times are seconds.
@@ -146,98 +155,10 @@ func (c Config) Validate() error {
 }
 
 // FileSystem is one mounted GPFS-like file system shared by the whole
-// machine.
+// machine: the shared storage core composed with the GPFS policies.
 type FileSystem struct {
-	m   *bgp.Machine
+	*storage.Core
 	cfg Config
-
-	servers  []*server
-	mds      *sim.Resource // directory-lock path (creates)
-	mdsLight *sim.Resource // lightweight path (opens, closes)
-	mdsRNG   *xrand.RNG
-
-	files      map[string]*file
-	dirEntries map[string]int
-	fileSeq    int
-
-	activeCommits int              // storage requests in flight
-	burstClients  map[int]struct{} // distinct ranks writing in the current burst
-	lastIssue     float64          // time of the most recent write issue
-
-	// Counters for diagnostics and tests.
-	Stats Stats
-}
-
-// Stats aggregates observable file system activity.
-type Stats struct {
-	Creates       int
-	Opens         int
-	Closes        int
-	TokenGrants   int
-	TokenRevokes  int
-	BytesWritten  int64
-	BytesRead     int64
-	NoiseSpikes   int
-	NoiseSpikeSum float64 // total injected delay, seconds
-}
-
-type server struct {
-	pipe *fabric.Pipe
-	rng  *xrand.RNG
-}
-
-type file struct {
-	name    string
-	stripe  int                  // striping offset so files start on different servers
-	tokens  map[int64]int        // block index -> owning client (pset/ION id)
-	tokenQ  *sim.Resource        // the file's metanode serializes token grants
-	store   fsys.Store           // sparse real/synthetic contents
-	streams map[int]*fabric.Pipe // per-client stream pipes, lazily created
-}
-
-// Handle is an open file descriptor. Handles may be shared across ranks
-// (collective opens hand the same handle to every rank), mirroring MPI-IO
-// shared file handles.
-type Handle struct {
-	fs     *FileSystem
-	f      *file
-	closed bool
-	// outstanding counts in-flight write-behind commits per client, so Sync
-	// can wait for exactly this handle's traffic; total covers Close.
-	outstanding map[int]int
-	total       int
-	syncWait    map[int][]*sim.Proc
-	closeWait   []*sim.Proc
-}
-
-// addOutstanding registers one in-flight commit for client.
-func (h *Handle) addOutstanding(client int) {
-	h.outstanding[client]++
-	h.total++
-}
-
-// doneOutstanding retires one commit and wakes any drained waiters.
-func (h *Handle) doneOutstanding(client int) {
-	h.outstanding[client]--
-	h.total--
-	if h.outstanding[client] == 0 {
-		for _, p := range h.syncWait[client] {
-			p.Unpark()
-		}
-		delete(h.syncWait, client)
-	}
-	if h.total == 0 {
-		for _, p := range h.closeWait {
-			p.Unpark()
-		}
-		h.closeWait = nil
-	}
-}
-
-// callWait tracks the blocks of one WriteAt call for synchronous commits.
-type callWait struct {
-	remaining int
-	proc      *sim.Proc
 }
 
 // New mounts a file system on the machine.
@@ -245,24 +166,37 @@ func New(m *bgp.Machine, cfg Config) (*FileSystem, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	fs := &FileSystem{
-		m:            m,
-		cfg:          cfg,
-		mds:          sim.NewResource(1),
-		mdsLight:     sim.NewResource(1),
-		mdsRNG:       m.RNG.Split(),
-		files:        make(map[string]*file),
-		dirEntries:   make(map[string]int),
-		burstClients: make(map[int]struct{}),
+	core, err := storage.New(m, storage.Config{
+		BlockSize:      cfg.BlockSize,
+		NumServers:     cfg.NumServers,
+		ServerBW:       cfg.ServerBW,
+		ServerLat:      cfg.ServerLat,
+		ClientStreamBW: cfg.ClientStreamBW,
+		ServerName:     "nsd",
+		NoiseProb:      cfg.NoiseProb,
+		NoiseAlpha:     cfg.NoiseAlpha,
+		NoiseScale:     cfg.NoiseScale,
+		NoiseConcRef:   cfg.NoiseConcRef,
+		NoiseGamma:     cfg.NoiseGamma,
+		NoiseMaxFactor: cfg.NoiseMaxFactor,
+	}, storage.Backend{
+		Name: "gpfs",
+		Metadata: &storage.CentralizedMDS{
+			CreateBase:  cfg.MDSCreateBase,
+			OpenBase:    cfg.MDSOpenBase,
+			CloseBase:   cfg.MDSCloseBase,
+			EntryCost:   cfg.MDSEntryCost,
+			QueueRef:    cfg.MDSQueueRef,
+			MaxSlowdown: cfg.MDSMaxSlowdown,
+		},
+		Concurrency: &storage.TokenManager{Grant: cfg.TokenGrant, Revoke: cfg.TokenRevoke},
+		Data:        &storage.BlockPipeline{WriteBehind: cfg.WriteBehind},
+		Errors:      storage.Errors{NotExist: ErrNotExist, Exists: ErrExists, Closed: ErrClosed},
+	})
+	if err != nil {
+		return nil, err
 	}
-	fs.servers = make([]*server, cfg.NumServers)
-	for i := range fs.servers {
-		fs.servers[i] = &server{
-			pipe: fabric.NewPipe(fmt.Sprintf("nsd%d", i), cfg.ServerLat, cfg.ServerBW),
-			rng:  m.RNG.Split(),
-		}
-	}
-	return fs, nil
+	return &FileSystem{Core: core, cfg: cfg}, nil
 }
 
 // MustNew is New, panicking on error.
@@ -276,493 +210,3 @@ func MustNew(m *bgp.Machine, cfg Config) *FileSystem {
 
 // Config returns the mounted configuration.
 func (fs *FileSystem) Config() Config { return fs.cfg }
-
-// Name implements fsys.System.
-func (fs *FileSystem) Name() string { return "gpfs" }
-
-// BlockSize implements fsys.System: the GPFS block (lock) granularity.
-func (fs *FileSystem) BlockSize() int64 { return fs.cfg.BlockSize }
-
-// Machine returns the machine the file system is mounted on.
-func (fs *FileSystem) Machine() *bgp.Machine { return fs.m }
-
-func dirOf(path string) string {
-	if i := strings.LastIndexByte(path, '/'); i >= 0 {
-		return path[:i]
-	}
-	return "."
-}
-
-// mdsOp serializes the calling process through the metadata server. The
-// service time is computed by cost() after the request reaches the head of
-// the queue, because directory-dependent costs (create) must reflect the
-// directory's population at service time, not at issue time.
-func (fs *FileSystem) mdsOp(p *sim.Proc, amplify bool, cost func() float64) {
-	// Creates hold the directory lock and thrash under a deep queue; opens
-	// and closes take a lightweight path with its own queue, so a create
-	// storm does not trap every close behind it.
-	res := fs.mdsLight
-	if amplify {
-		res = fs.mds
-	}
-	res.Acquire(p)
-	service := cost()
-	if amplify && fs.cfg.MDSQueueRef > 0 {
-		q := float64(res.QueueLen()) / fs.cfg.MDSQueueRef
-		mult := q * q
-		if mult > fs.cfg.MDSMaxSlowdown {
-			mult = fs.cfg.MDSMaxSlowdown
-		}
-		service *= 1 + mult
-	}
-	// Mild OS-level jitter on metadata service, always present.
-	service *= 1 + 0.25*fs.mdsRNG.Float64()
-	p.Sleep(service)
-	res.Release()
-}
-
-// Create creates path, failing if it exists. Called by the rank that issues
-// the create; the cost includes shipping the request through the rank's pset
-// funnel and queueing at the metadata server behind every other create, with
-// per-create cost growing with the directory's population — the 1PFPP
-// failure mode.
-func (fs *FileSystem) Create(p *sim.Proc, rank int, path string) (fsys.Handle, error) {
-	fs.shipToION(p, rank, 512)
-	dir := dirOf(path)
-	// The create holds the directory lock (amplified under a deep queue)
-	// and scans the directory, whose population is read at service time.
-	fs.mdsOp(p, true, func() float64 { return fs.cfg.MDSCreateBase })
-	p.Sleep(fs.cfg.MDSEntryCost * float64(fs.dirEntries[dir]) * (1 + 0.25*fs.mdsRNG.Float64()))
-	if _, ok := fs.files[path]; ok {
-		return nil, fmt.Errorf("%w: %s", ErrExists, path)
-	}
-	f := &file{
-		name:    path,
-		stripe:  fs.fileSeq,
-		tokens:  make(map[int64]int),
-		tokenQ:  sim.NewResource(1),
-		streams: make(map[int]*fabric.Pipe),
-	}
-	fs.fileSeq++
-	fs.files[path] = f
-	fs.dirEntries[dir]++
-	fs.Stats.Creates++
-	return fs.newHandle(f), nil
-}
-
-// Open opens an existing file.
-func (fs *FileSystem) Open(p *sim.Proc, rank int, path string) (fsys.Handle, error) {
-	fs.shipToION(p, rank, 512)
-	fs.mdsOp(p, false, func() float64 { return fs.cfg.MDSOpenBase })
-	f, ok := fs.files[path]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
-	}
-	fs.Stats.Opens++
-	return fs.newHandle(f), nil
-}
-
-func (fs *FileSystem) newHandle(f *file) *Handle {
-	return &Handle{fs: fs, f: f, outstanding: make(map[int]int), syncWait: make(map[int][]*sim.Proc)}
-}
-
-// Preload installs a pre-existing synthetic file of the given size without
-// charging simulation time — input data (meshes, parameter files) that was
-// on the file system before the job started. It overwrites any existing
-// entry.
-func (fs *FileSystem) Preload(path string, size int64) {
-	f := &file{
-		name:    path,
-		stripe:  fs.fileSeq,
-		tokens:  make(map[int64]int),
-		tokenQ:  sim.NewResource(1),
-		streams: make(map[int]*fabric.Pipe),
-	}
-	f.store.MarkSynthetic(size)
-	fs.fileSeq++
-	if _, exists := fs.files[path]; !exists {
-		fs.dirEntries[dirOf(path)]++
-	}
-	fs.files[path] = f
-}
-
-// PreloadBytes installs a pre-existing input file with real contents
-// without charging simulation time.
-func (fs *FileSystem) PreloadBytes(path string, contents []byte) {
-	f := &file{
-		name:    path,
-		stripe:  fs.fileSeq,
-		tokens:  make(map[int64]int),
-		tokenQ:  sim.NewResource(1),
-		streams: make(map[int]*fabric.Pipe),
-	}
-	f.store.Write(0, data.FromBytes(contents))
-	fs.fileSeq++
-	if _, exists := fs.files[path]; !exists {
-		fs.dirEntries[dirOf(path)]++
-	}
-	fs.files[path] = f
-}
-
-// Exists reports whether path exists, without charging simulation time.
-func (fs *FileSystem) Exists(path string) bool {
-	_, ok := fs.files[path]
-	return ok
-}
-
-// FileSize returns the current size of path, without charging simulation
-// time (a model-introspection helper, not a POSIX stat).
-func (fs *FileSystem) FileSize(path string) (int64, error) {
-	f, ok := fs.files[path]
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNotExist, path)
-	}
-	return f.store.Size(), nil
-}
-
-// NumFiles returns how many files exist.
-func (fs *FileSystem) NumFiles() int { return len(fs.files) }
-
-// expressCutoff is the message size up to which tree-network transfers
-// interleave with bulk traffic at packet granularity (control messages,
-// headers) instead of queueing behind whole bulk messages.
-const expressCutoff = 256 << 10
-
-// shipToION charges the syscall-shipping cost from a compute rank to its
-// I/O node over the pset's collective-network funnel. Control-sized
-// messages ride the express path.
-func (fs *FileSystem) shipToION(p *sim.Proc, rank int, size int64) {
-	pset := fs.m.PsetOfRank(rank)
-	pipe := fs.m.Tree.Pset(pset)
-	var end float64
-	if size <= expressCutoff {
-		_, end = pipe.TransferExpress(p.Now(), size)
-	} else {
-		_, end = pipe.Transfer(p.Now(), size)
-	}
-	p.SleepUntil(end)
-}
-
-// acquireTokens obtains byte-range tokens for [off, off+n) of f on behalf of
-// the rank's ION. Grants serialize at the file's metanode; blocks owned by
-// other clients must be revoked first.
-func (fs *FileSystem) acquireTokens(p *sim.Proc, rank int, f *file, off, n int64) {
-	client := fs.m.PsetOfRank(rank)
-	first := off / fs.cfg.BlockSize
-	last := (off + n - 1) / fs.cfg.BlockSize
-	var grants, revokes int
-	for b := first; b <= last; b++ {
-		owner, held := f.tokens[b]
-		switch {
-		case !held:
-			grants++
-		case owner != client:
-			revokes++
-		}
-	}
-	if grants == 0 && revokes == 0 {
-		return
-	}
-	f.tokenQ.Acquire(p)
-	p.Sleep(float64(grants)*fs.cfg.TokenGrant + float64(revokes)*(fs.cfg.TokenGrant+fs.cfg.TokenRevoke))
-	for b := first; b <= last; b++ {
-		f.tokens[b] = client
-	}
-	f.tokenQ.Release()
-	fs.Stats.TokenGrants += grants
-	fs.Stats.TokenRevokes += revokes
-}
-
-// stream returns the client's streaming pipe for f, modelling the bounded
-// per-stream flush pipeline of one GPFS client writing one file.
-func (f *file) stream(client int, bw float64) *fabric.Pipe {
-	s, ok := f.streams[client]
-	if !ok {
-		s = fabric.NewPipe(fmt.Sprintf("%s/c%d", f.name, client), 0, bw)
-		f.streams[client] = s
-	}
-	return s
-}
-
-// serverFor returns the NSD server storing block b of f (round-robin
-// striping with a per-file starting offset).
-func (fs *FileSystem) serverFor(f *file, b int64) *server {
-	return fs.servers[(int64(f.stripe)+b)%int64(len(fs.servers))]
-}
-
-// noiseFactor returns the burst-concurrency amplification of the spike
-// probability.
-func (fs *FileSystem) noiseFactor() float64 {
-	if fs.cfg.NoiseConcRef <= 0 {
-		return 1
-	}
-	x := float64(len(fs.burstClients)) / fs.cfg.NoiseConcRef
-	f := 1.0
-	for i := 0.0; i < fs.cfg.NoiseGamma; i++ {
-		f *= x
-	}
-	if f > fs.cfg.NoiseMaxFactor {
-		f = fs.cfg.NoiseMaxFactor
-	}
-	if f < 1 {
-		f = 1
-	}
-	return f
-}
-
-// commitAsync schedules the per-block commits of [off,off+n). Each block
-// leaves the client stream at its own delivery time (streamBase plus the
-// cumulative bytes over the stream bandwidth); an event fires at that
-// moment and only then claims the Ethernet and the block's server — so
-// shared pipes serve requests in arrival order rather than letting one
-// large write reserve far-future slots ahead of everyone else. Noise spikes
-// are drawn per server request, amplified by the burst's client count at
-// commit time. The returned callWait completes when every block of this
-// call is durable.
-func (fs *FileSystem) commitAsync(h *Handle, client, ion int, streamBase float64, off, n int64) *callWait {
-	cw := &callWait{}
-	now := fs.m.K.Now()
-
-	// Collect the block sub-ranges of the write.
-	type blk struct {
-		b      int64
-		lo, hi int64
-		pace   float64 // earliest departure from the client stream
-	}
-	var blks []blk
-	var cum int64
-	for b := off / fs.cfg.BlockSize; b <= (off+n-1)/fs.cfg.BlockSize; b++ {
-		bStart := b * fs.cfg.BlockSize
-		bEnd := bStart + fs.cfg.BlockSize
-		lo, hi := max64(off, bStart), min64(off+n, bEnd)
-		cum += hi - lo
-		pace := streamBase + float64(cum)/fs.cfg.ClientStreamBW
-		if pace < now {
-			pace = now
-		}
-		blks = append(blks, blk{b: b, lo: lo, hi: hi, pace: pace})
-	}
-	cw.remaining = len(blks)
-	for range blks {
-		h.addOutstanding(client)
-	}
-
-	fileSize := h.f.store.Size()
-	// commitBlock performs block i's Ethernet hop and server commit; with
-	// the write-behind cache the next block departs as soon as the stream
-	// delivers it, while cache-off (PVFS-style) chains each block behind the
-	// previous block's server acknowledgement — the round-trip stall that
-	// made the paper call the hardware comparison unfair.
-	var commitBlock func(i int)
-	commitBlock = func(i int) {
-		bl := blks[i]
-		span := bl.hi - bl.lo
-		srv := fs.serverFor(h.f, bl.b)
-		partial := span < fs.cfg.BlockSize && (bl.lo%fs.cfg.BlockSize != 0 || bl.hi%fs.cfg.BlockSize != 0) && bl.hi < fileSize
-		k := fs.m.K
-		ethEnd := fs.m.Eth.Transfer(k.Now(), ion, span)
-		// A partial write inside an existing block forces the server to
-		// read-modify-write the whole file system block.
-		work := span
-		if partial {
-			work = fs.cfg.BlockSize
-		}
-		_, e := srv.pipe.Transfer(ethEnd, work)
-		if srv.rng.Float64() < fs.cfg.NoiseProb*fs.noiseFactor() {
-			spike := srv.rng.Pareto(fs.cfg.NoiseScale, fs.cfg.NoiseAlpha)
-			e += spike
-			fs.Stats.NoiseSpikes++
-			fs.Stats.NoiseSpikeSum += spike
-		}
-		fs.scheduleDrain(e)
-		k.At(e, func() {
-			cw.remaining--
-			h.doneOutstanding(client)
-			if cw.remaining == 0 && cw.proc != nil {
-				cw.proc.Unpark()
-			}
-			if !fs.cfg.WriteBehind && i+1 < len(blks) {
-				// No cache: the client may not stream the next block until
-				// this one is acknowledged, so the next departure is the
-				// ack plus that block's own stream serialization.
-				nb := blks[i+1]
-				next := fs.m.K.Now() + float64(nb.hi-nb.lo)/fs.cfg.ClientStreamBW
-				fs.m.K.At(next, func() { commitBlock(i + 1) })
-			}
-		})
-	}
-	if fs.cfg.WriteBehind {
-		for i := range blks {
-			i := i
-			fs.m.K.At(blks[i].pace, func() { commitBlock(i) })
-		}
-	} else if len(blks) > 0 {
-		fs.m.K.At(blks[0].pace, func() { commitBlock(0) })
-	}
-	return cw
-}
-
-// WriteAt writes buf at offset off through the full storage path. With
-// write-behind it returns once the ION holds the data and tokens; otherwise
-// it blocks until every striped server has committed.
-func (h *Handle) WriteAt(p *sim.Proc, rank int, off int64, buf data.Buf) error {
-	if h.closed {
-		return ErrClosed
-	}
-	if buf.Len() == 0 {
-		return nil
-	}
-	fs := h.fs
-	fs.trackBurst(rank)
-
-	// 1. Data cuts through the pset funnel into the ION packet by packet
-	// while the client stream drains it toward the servers; the funnel's
-	// occupancy still contends with the pset's other traffic, but a large
-	// write is not store-and-forwarded whole.
-	client := fs.m.PsetOfRank(rank)
-	treePipe := fs.m.Tree.Pset(client)
-	var treeEnd float64
-	if buf.Len() <= expressCutoff {
-		_, treeEnd = treePipe.TransferExpress(p.Now(), buf.Len())
-	} else {
-		_, treeEnd = treePipe.Transfer(p.Now(), buf.Len())
-	}
-	// 2. Byte-range tokens, serialized at the file's metanode.
-	fs.acquireTokens(p, rank, h.f, off, buf.Len())
-	// 3. The client stream pipeline drains toward the servers. Streams are
-	// per (file, rank): the ION's CIOD proxies each compute process's I/O
-	// through its own stream, so distinct writers on one pset do not share
-	// a pipeline, while one writer's consecutive writes to a file do.
-	_, streamEnd := h.f.stream(rank, fs.cfg.ClientStreamBW).Transfer(p.Now(), buf.Len())
-	if streamEnd < treeEnd {
-		streamEnd = treeEnd
-	}
-	// 4+5. Blocks pipeline out of the stream, across the Ethernet and onto
-	// the striped NSD servers as each is delivered.
-	streamBase := streamEnd - float64(buf.Len())/fs.cfg.ClientStreamBW
-	cw := fs.commitAsync(h, client, client, streamBase, off, buf.Len())
-
-	h.f.store.Write(off, buf)
-	fs.Stats.BytesWritten += buf.Len()
-
-	if fs.cfg.WriteBehind {
-		// Return once the ION has the data; Sync/Close wait for the commits.
-		p.SleepUntil(streamEnd)
-		return nil
-	}
-	p.SleepUntil(streamEnd)
-	if cw.remaining > 0 {
-		cw.proc = p
-		p.Park()
-	}
-	return nil
-}
-
-// ReadAt reads n bytes at offset off, charging the symmetric storage path.
-// It returns real bytes where the file holds content and a synthetic payload
-// otherwise. Reads past EOF return an error.
-func (h *Handle) ReadAt(p *sim.Proc, rank int, off, n int64) (data.Buf, error) {
-	if h.closed {
-		return data.Buf{}, ErrClosed
-	}
-	if off+n > h.f.store.Size() {
-		return data.Buf{}, fmt.Errorf("gpfs: read [%d,%d) beyond EOF %d of %s", off, off+n, h.f.store.Size(), h.f.name)
-	}
-	fs := h.fs
-	// Request goes down; data comes back: servers -> eth -> tree.
-	fs.shipToION(p, rank, 256)
-	end := p.Now()
-	for b := off / fs.cfg.BlockSize; b <= (off+n-1)/fs.cfg.BlockSize; b++ {
-		bStart := b * fs.cfg.BlockSize
-		lo, hi := max64(off, bStart), min64(off+n, bStart+fs.cfg.BlockSize)
-		_, e := fs.serverFor(h.f, b).pipe.Transfer(p.Now(), hi-lo)
-		if e > end {
-			end = e
-		}
-	}
-	end = fs.m.Eth.Transfer(end, fs.m.PsetOfRank(rank), n)
-	_, end2 := fs.m.Tree.Pset(fs.m.PsetOfRank(rank)).Transfer(end, n)
-	p.SleepUntil(end2)
-	fs.Stats.BytesRead += n
-
-	return h.f.store.Read(off, n), nil
-}
-
-// Sync blocks until the caller's write-behind commits on this handle have
-// reached the servers.
-func (h *Handle) Sync(p *sim.Proc, rank int) {
-	client := h.fs.m.PsetOfRank(rank)
-	for h.outstanding[client] > 0 {
-		h.syncWait[client] = append(h.syncWait[client], p)
-		p.Park()
-	}
-}
-
-// Close syncs all outstanding write-behind commits on the handle (from any
-// client — a shared handle is closed once, by convention by the lowest rank
-// holding it) and releases it at the metadata server.
-func (h *Handle) Close(p *sim.Proc, rank int) error {
-	if h.closed {
-		return ErrClosed
-	}
-	for h.total > 0 {
-		h.closeWait = append(h.closeWait, p)
-		p.Park()
-	}
-	h.fs.shipToION(p, rank, 256)
-	h.fs.mdsOp(p, false, func() float64 { return h.fs.cfg.MDSCloseBase })
-	h.closed = true
-	h.fs.Stats.Closes++
-	return nil
-}
-
-// Size returns the file's current size.
-func (h *Handle) Size() int64 { return h.f.store.Size() }
-
-// Name returns the file's path.
-func (h *Handle) Name() string { return h.f.name }
-
-// burstIdleGap is how long the storage side must stay idle before the
-// current I/O burst is considered over and its client set resets. Short
-// lulls between the synchronized per-field commits of one checkpoint do not
-// end the burst.
-const burstIdleGap = 5.0
-
-// trackBurst registers rank as a client of the current I/O burst; the
-// matching drain is scheduled by the caller once the commit-completion time
-// is known.
-func (fs *FileSystem) trackBurst(rank int) {
-	fs.burstClients[rank] = struct{}{}
-	fs.activeCommits++
-	fs.lastIssue = fs.m.K.Now()
-}
-
-// scheduleDrain retires one in-flight commit at time t; if the storage side
-// then stays idle past the burst gap, the burst's client set resets.
-func (fs *FileSystem) scheduleDrain(t float64) {
-	fs.m.K.At(t, func() {
-		fs.activeCommits--
-		if fs.activeCommits > 0 {
-			return
-		}
-		fs.m.K.After(burstIdleGap, func() {
-			if fs.activeCommits == 0 && fs.m.K.Now()-fs.lastIssue >= burstIdleGap {
-				fs.burstClients = make(map[int]struct{})
-			}
-		})
-	})
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}

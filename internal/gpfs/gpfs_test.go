@@ -275,8 +275,8 @@ func TestStripingSpreadsServers(t *testing.T) {
 		h, _ := fs.Create(p, 0, "big")
 		h.WriteAt(p, 0, 0, data.Synthetic(8<<20)) // exactly one block per server
 		busy := 0
-		for _, s := range fs.servers {
-			if s.pipe.Bytes() > 0 {
+		for _, s := range fs.Servers() {
+			if s.Pipe().Bytes() > 0 {
 				busy++
 			}
 		}
@@ -395,7 +395,7 @@ func TestSyncWaitsOwnCommitsOnly(t *testing.T) {
 		h.Sync(p, 0)
 		syncWait = p.Now() - t0
 		h.Close(p, 0) // close waits for everyone
-		inFlight = h.total
+		inFlight = h.TotalOutstanding()
 	})
 	if syncWait > 1.0 {
 		t.Fatalf("Sync waited %v s for another client's commits", syncWait)

@@ -4,23 +4,24 @@
 // still is) turned off on PVFS".
 //
 // The model differs from internal/gpfs exactly where the real systems
-// differ:
+// differ — in policy, which is all this package contains:
 //
 //   - No byte-range locks: PVFS performs no locking at all; applications
-//     are responsible for non-conflicting writes. The nf=1 token-serial
-//     penalty of GPFS does not exist here.
+//     are responsible for non-conflicting writes (storage.LockFree). The
+//     nf=1 token-serial penalty of GPFS does not exist here.
 //   - No client/ION write-behind cache: every write is synchronous to the
-//     servers (the cache-off configuration the paper describes), so write
-//     calls block for the full commit and writers cannot overlap commits
-//     with their next aggregation round.
-//   - Distributed metadata: file metadata is hashed across the servers, so
-//     a create storm spreads over NumServers queues instead of thrashing a
-//     single metadata server. 1PFPP degrades far more gracefully than on
-//     GPFS — at the price of every write being synchronous.
+//     servers (storage.StripeSync, the cache-off configuration the paper
+//     describes), so write calls block for the full commit and writers
+//     cannot overlap commits with their next aggregation round.
+//   - Distributed metadata: file metadata is hashed across the servers
+//     (storage.HashedMDS), so a create storm spreads over NumServers queues
+//     instead of thrashing a single metadata server. 1PFPP degrades far
+//     more gracefully than on GPFS — at the price of every write being
+//     synchronous.
 //
 // Everything else — striping, the pset funnel, the Ethernet, the
-// shared-storage noise model — matches the GPFS model, since the two file
-// systems shared Intrepid's physical storage hardware.
+// shared-storage noise model — is the shared mechanism in internal/storage,
+// since the two file systems shared Intrepid's physical storage hardware.
 package pvfs
 
 import (
@@ -28,11 +29,8 @@ import (
 	"fmt"
 
 	"repro/internal/bgp"
-	"repro/internal/data"
-	"repro/internal/fabric"
 	"repro/internal/fsys"
-	"repro/internal/sim"
-	"repro/internal/xrand"
+	"repro/internal/storage"
 )
 
 // Errors returned by namespace operations.
@@ -41,6 +39,14 @@ var (
 	ErrExists   = errors.New("pvfs: file already exists")
 	ErrClosed   = errors.New("pvfs: handle is closed")
 )
+
+// Stats aggregates observable file system activity. It is the shared
+// storage-core stats type; counters the PVFS policies never touch (token
+// grants/revokes) stay zero.
+type Stats = storage.Stats
+
+// Handle is an open PVFS file descriptor.
+type Handle = storage.Handle
 
 // Config holds the PVFS model parameters.
 type Config struct {
@@ -104,79 +110,48 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// FileSystem is a mounted PVFS volume. It implements fsys.System.
+// FileSystem is a mounted PVFS volume: the shared storage core composed
+// with the PVFS policies. It implements fsys.System.
 type FileSystem struct {
-	m   *bgp.Machine
+	*storage.Core
 	cfg Config
-
-	servers []*server
-	mds     []*sim.Resource // distributed metadata queues, one per server
-	mdsRNG  *xrand.RNG
-
-	files   map[string]*file
-	fileSeq int
-
-	activeCommits int
-	burstClients  map[int]struct{}
-	lastIssue     float64
-
-	// Stats mirrors the GPFS counters where applicable.
-	Stats Stats
 }
 
 var _ fsys.System = (*FileSystem)(nil)
-
-// Stats aggregates observable file system activity.
-type Stats struct {
-	Creates      int
-	Opens        int
-	Closes       int
-	BytesWritten int64
-	BytesRead    int64
-	NoiseSpikes  int
-}
-
-type server struct {
-	pipe *fabric.Pipe
-	rng  *xrand.RNG
-}
-
-type file struct {
-	name    string
-	stripe  int
-	store   fsys.Store
-	streams map[int]*fabric.Pipe
-}
-
-// Handle is an open PVFS file descriptor.
-type Handle struct {
-	fs     *FileSystem
-	f      *file
-	closed bool
-}
 
 // New mounts a PVFS volume on the machine.
 func New(m *bgp.Machine, cfg Config) (*FileSystem, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	fs := &FileSystem{
-		m:            m,
-		cfg:          cfg,
-		mdsRNG:       m.RNG.Split(),
-		files:        make(map[string]*file),
-		burstClients: make(map[int]struct{}),
+	core, err := storage.New(m, storage.Config{
+		BlockSize:      cfg.StripeSize,
+		NumServers:     cfg.NumServers,
+		ServerBW:       cfg.ServerBW,
+		ServerLat:      cfg.ServerLat,
+		ClientStreamBW: cfg.ClientStreamBW,
+		ServerName:     "pvfs",
+		NoiseProb:      cfg.NoiseProb,
+		NoiseAlpha:     cfg.NoiseAlpha,
+		NoiseScale:     cfg.NoiseScale,
+		NoiseConcRef:   cfg.NoiseConcRef,
+		NoiseGamma:     cfg.NoiseGamma,
+		NoiseMaxFactor: cfg.NoiseMaxFactor,
+	}, storage.Backend{
+		Name: "pvfs",
+		Metadata: &storage.HashedMDS{
+			CreateBase: cfg.CreateBase,
+			OpenBase:   cfg.OpenBase,
+			CloseBase:  cfg.CloseBase,
+		},
+		Concurrency: storage.LockFree{},
+		Data:        storage.StripeSync{},
+		Errors:      storage.Errors{NotExist: ErrNotExist, Exists: ErrExists, Closed: ErrClosed},
+	})
+	if err != nil {
+		return nil, err
 	}
-	fs.servers = make([]*server, cfg.NumServers)
-	fs.mds = make([]*sim.Resource, cfg.NumServers)
-	for i := range fs.servers {
-		fs.servers[i] = &server{
-			pipe: fabric.NewPipe(fmt.Sprintf("pvfs%d", i), cfg.ServerLat, cfg.ServerBW),
-			rng:  m.RNG.Split(),
-		}
-		fs.mds[i] = sim.NewResource(1)
-	}
-	return fs, nil
+	return &FileSystem{Core: core, cfg: cfg}, nil
 }
 
 // MustNew is New, panicking on error.
@@ -188,273 +163,5 @@ func MustNew(m *bgp.Machine, cfg Config) *FileSystem {
 	return fs
 }
 
-// Name implements fsys.System.
-func (fs *FileSystem) Name() string { return "pvfs" }
-
-// Machine implements fsys.System.
-func (fs *FileSystem) Machine() *bgp.Machine { return fs.m }
-
-// BlockSize implements fsys.System: PVFS has no locks, so the relevant
-// middleware granularity is the stripe unit.
-func (fs *FileSystem) BlockSize() int64 { return fs.cfg.StripeSize }
-
 // Config returns the mounted configuration.
 func (fs *FileSystem) Config() Config { return fs.cfg }
-
-// mdsFor hashes a path to its metadata server queue.
-func (fs *FileSystem) mdsFor(path string) *sim.Resource {
-	var h uint32 = 2166136261
-	for i := 0; i < len(path); i++ {
-		h = (h ^ uint32(path[i])) * 16777619
-	}
-	return fs.mds[h%uint32(len(fs.mds))]
-}
-
-// metaOp serializes the caller through the path's metadata queue.
-func (fs *FileSystem) metaOp(p *sim.Proc, path string, base float64) {
-	q := fs.mdsFor(path)
-	q.Acquire(p)
-	p.Sleep(base * (1 + 0.25*fs.mdsRNG.Float64()))
-	q.Release()
-}
-
-// shipToION charges the syscall-shipping cost over the pset funnel
-// (control-sized messages ride the express path).
-func (fs *FileSystem) shipToION(p *sim.Proc, rank int, size int64) {
-	pipe := fs.m.Tree.Pset(fs.m.PsetOfRank(rank))
-	_, end := pipe.TransferExpress(p.Now(), size)
-	p.SleepUntil(end)
-}
-
-// Create implements fsys.System.
-func (fs *FileSystem) Create(p *sim.Proc, rank int, path string) (fsys.Handle, error) {
-	fs.shipToION(p, rank, 512)
-	fs.metaOp(p, path, fs.cfg.CreateBase)
-	if _, ok := fs.files[path]; ok {
-		return nil, fmt.Errorf("%w: %s", ErrExists, path)
-	}
-	f := &file{name: path, stripe: fs.fileSeq, streams: make(map[int]*fabric.Pipe)}
-	fs.fileSeq++
-	fs.files[path] = f
-	fs.Stats.Creates++
-	return &Handle{fs: fs, f: f}, nil
-}
-
-// Open implements fsys.System.
-func (fs *FileSystem) Open(p *sim.Proc, rank int, path string) (fsys.Handle, error) {
-	fs.shipToION(p, rank, 512)
-	fs.metaOp(p, path, fs.cfg.OpenBase)
-	f, ok := fs.files[path]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
-	}
-	fs.Stats.Opens++
-	return &Handle{fs: fs, f: f}, nil
-}
-
-// Preload implements fsys.System.
-func (fs *FileSystem) Preload(path string, size int64) {
-	f := &file{name: path, stripe: fs.fileSeq, streams: make(map[int]*fabric.Pipe)}
-	f.store.MarkSynthetic(size)
-	fs.fileSeq++
-	fs.files[path] = f
-}
-
-// PreloadBytes implements fsys.System.
-func (fs *FileSystem) PreloadBytes(path string, contents []byte) {
-	f := &file{name: path, stripe: fs.fileSeq, streams: make(map[int]*fabric.Pipe)}
-	f.store.Write(0, data.FromBytes(contents))
-	fs.fileSeq++
-	fs.files[path] = f
-}
-
-// Exists implements fsys.System.
-func (fs *FileSystem) Exists(path string) bool {
-	_, ok := fs.files[path]
-	return ok
-}
-
-// FileSize implements fsys.System.
-func (fs *FileSystem) FileSize(path string) (int64, error) {
-	f, ok := fs.files[path]
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNotExist, path)
-	}
-	return f.store.Size(), nil
-}
-
-// NumFiles implements fsys.System.
-func (fs *FileSystem) NumFiles() int { return len(fs.files) }
-
-func (f *file) streamFor(rank int, bw float64) *fabric.Pipe {
-	s, ok := f.streams[rank]
-	if !ok {
-		s = fabric.NewPipe(fmt.Sprintf("%s/c%d", f.name, rank), 0, bw)
-		f.streams[rank] = s
-	}
-	return s
-}
-
-func (fs *FileSystem) serverFor(f *file, stripeIdx int64) *server {
-	return fs.servers[(int64(f.stripe)+stripeIdx)%int64(len(fs.servers))]
-}
-
-// noiseFactor mirrors the GPFS burst-concurrency amplification.
-func (fs *FileSystem) noiseFactor() float64 {
-	if fs.cfg.NoiseConcRef <= 0 {
-		return 1
-	}
-	x := float64(len(fs.burstClients)) / fs.cfg.NoiseConcRef
-	f := 1.0
-	for i := 0.0; i < fs.cfg.NoiseGamma; i++ {
-		f *= x
-	}
-	if f > fs.cfg.NoiseMaxFactor {
-		f = fs.cfg.NoiseMaxFactor
-	}
-	if f < 1 {
-		f = 1
-	}
-	return f
-}
-
-const burstIdleGap = 5.0
-
-func (fs *FileSystem) trackBurst(rank int) {
-	fs.burstClients[rank] = struct{}{}
-	fs.activeCommits++
-	fs.lastIssue = fs.m.K.Now()
-}
-
-func (fs *FileSystem) scheduleDrain(t float64) {
-	fs.m.K.At(t, func() {
-		fs.activeCommits--
-		if fs.activeCommits > 0 {
-			return
-		}
-		fs.m.K.After(burstIdleGap, func() {
-			if fs.activeCommits == 0 && fs.m.K.Now()-fs.lastIssue >= burstIdleGap {
-				fs.burstClients = make(map[int]struct{})
-			}
-		})
-	})
-}
-
-// WriteAt implements fsys.Handle: the full synchronous path. Unlike GPFS
-// there is no token acquisition and no write-behind — the call blocks until
-// every stripe's server has acknowledged.
-func (h *Handle) WriteAt(p *sim.Proc, rank int, off int64, buf data.Buf) error {
-	if h.closed {
-		return ErrClosed
-	}
-	if buf.Len() == 0 {
-		return nil
-	}
-	fs := h.fs
-	fs.trackBurst(rank)
-
-	// Funnel cut-through (large payloads contend; small ride express).
-	pipe := fs.m.Tree.Pset(fs.m.PsetOfRank(rank))
-	var treeEnd float64
-	if buf.Len() <= 256<<10 {
-		_, treeEnd = pipe.TransferExpress(p.Now(), buf.Len())
-	} else {
-		_, treeEnd = pipe.Transfer(p.Now(), buf.Len())
-	}
-
-	// Client request pipeline, then per-stripe commits pipelining out of it.
-	_, streamEnd := h.f.streamFor(rank, fs.cfg.ClientStreamBW).Transfer(p.Now(), buf.Len())
-	if streamEnd < treeEnd {
-		streamEnd = treeEnd
-	}
-	streamBase := streamEnd - float64(buf.Len())/fs.cfg.ClientStreamBW
-	commitEnd := streamBase
-	spikeP := fs.cfg.NoiseProb * fs.noiseFactor()
-	ion := fs.m.PsetOfRank(rank)
-	var cum int64
-	ss := fs.cfg.StripeSize
-	// Group contiguous stripes bound for the same server into one request
-	// per server revolution to keep the op count linear in servers, not
-	// stripes (a 64 KiB stripe over a 160 MB write would otherwise cost
-	// thousands of micro-requests).
-	revolution := ss * int64(len(fs.servers))
-	for lo := off; lo < off+buf.Len(); {
-		hi := min64(off+buf.Len(), (lo/revolution+1)*revolution)
-		span := hi - lo
-		cum += span
-		deliver := streamBase + float64(cum)/fs.cfg.ClientStreamBW
-		ethEnd := fs.m.Eth.Transfer(deliver, ion, span)
-		// The revolution touches up to NumServers servers; charge the
-		// busiest one (they carry span/NumServers each, in parallel).
-		perServer := span / int64(len(fs.servers))
-		if perServer == 0 {
-			perServer = span
-		}
-		srv := fs.serverFor(h.f, lo/ss)
-		_, e := srv.pipe.Transfer(ethEnd, perServer)
-		if srv.rng.Float64() < spikeP {
-			spike := srv.rng.Pareto(fs.cfg.NoiseScale, fs.cfg.NoiseAlpha)
-			e += spike
-			fs.Stats.NoiseSpikes++
-		}
-		if e > commitEnd {
-			commitEnd = e
-		}
-		lo = hi
-	}
-	fs.scheduleDrain(commitEnd)
-
-	h.f.store.Write(off, buf)
-	fs.Stats.BytesWritten += buf.Len()
-
-	// Cache off: synchronous completion.
-	p.SleepUntil(commitEnd)
-	return nil
-}
-
-// ReadAt implements fsys.Handle.
-func (h *Handle) ReadAt(p *sim.Proc, rank int, off, n int64) (data.Buf, error) {
-	if h.closed {
-		return data.Buf{}, ErrClosed
-	}
-	if off+n > h.f.store.Size() {
-		return data.Buf{}, fmt.Errorf("pvfs: read [%d,%d) beyond EOF %d of %s", off, off+n, h.f.store.Size(), h.f.name)
-	}
-	fs := h.fs
-	fs.shipToION(p, rank, 256)
-	srv := fs.serverFor(h.f, off/fs.cfg.StripeSize)
-	_, end := srv.pipe.Transfer(p.Now(), n/int64(len(fs.servers))+1)
-	end = fs.m.Eth.Transfer(end, fs.m.PsetOfRank(rank), n)
-	_, end2 := fs.m.Tree.Pset(fs.m.PsetOfRank(rank)).Transfer(end, n)
-	p.SleepUntil(end2)
-	fs.Stats.BytesRead += n
-	return h.f.store.Read(off, n), nil
-}
-
-// Sync implements fsys.Handle: a no-op, since every write is synchronous.
-func (h *Handle) Sync(p *sim.Proc, rank int) {}
-
-// Close implements fsys.Handle.
-func (h *Handle) Close(p *sim.Proc, rank int) error {
-	if h.closed {
-		return ErrClosed
-	}
-	h.fs.shipToION(p, rank, 256)
-	h.fs.metaOp(p, h.f.name, h.fs.cfg.CloseBase)
-	h.closed = true
-	h.fs.Stats.Closes++
-	return nil
-}
-
-// Size implements fsys.Handle.
-func (h *Handle) Size() int64 { return h.f.store.Size() }
-
-// Name implements fsys.Handle.
-func (h *Handle) Name() string { return h.f.name }
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}

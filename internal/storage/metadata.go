@@ -1,0 +1,124 @@
+package storage
+
+import "repro/internal/sim"
+
+// CentralizedMDS is the GPFS-style metadata policy: one metadata server
+// whose create path holds the directory lock, scans the directory (cost
+// grows with its population), and thrashes under deep request queues, while
+// opens and closes take a lightweight path with its own queue so a create
+// storm does not trap every close behind it. This is the 1PFPP failure
+// mode: np creates in one directory serialize here.
+type CentralizedMDS struct {
+	CreateBase  float64
+	OpenBase    float64
+	CloseBase   float64
+	EntryCost   float64 // extra create cost per existing directory entry
+	QueueRef    float64 // queue depth at which service time doubles
+	MaxSlowdown float64 // cap on the queue-induced multiplier
+
+	heavy *sim.Resource // directory-lock path (creates)
+	light *sim.Resource // lightweight path (opens, closes)
+}
+
+var _ Metadata = (*CentralizedMDS)(nil)
+
+// op serializes the calling process through the metadata server. The
+// service time is computed by cost() after the request reaches the head of
+// the queue, because directory-dependent costs (create) must reflect the
+// directory's population at service time, not at issue time.
+func (m *CentralizedMDS) op(p *sim.Proc, c *Core, amplify bool, cost func() float64) {
+	if m.heavy == nil {
+		m.heavy = sim.NewResource(1)
+		m.light = sim.NewResource(1)
+	}
+	res := m.light
+	if amplify {
+		res = m.heavy
+	}
+	res.Acquire(p)
+	service := cost()
+	if amplify && m.QueueRef > 0 {
+		q := float64(res.QueueLen()) / m.QueueRef
+		mult := q * q
+		if mult > m.MaxSlowdown {
+			mult = m.MaxSlowdown
+		}
+		service *= 1 + mult
+	}
+	// Mild OS-level jitter on metadata service, always present.
+	service *= c.MDSJitter()
+	p.Sleep(service)
+	res.Release()
+}
+
+// Create implements Metadata: the create holds the directory lock
+// (amplified under a deep queue) and scans the directory, whose population
+// is read at service time.
+func (m *CentralizedMDS) Create(p *sim.Proc, c *Core, path string) {
+	dir := DirOf(path)
+	m.op(p, c, true, func() float64 { return m.CreateBase })
+	p.Sleep(m.EntryCost * float64(c.DirEntries(dir)) * c.MDSJitter())
+}
+
+// Open implements Metadata.
+func (m *CentralizedMDS) Open(p *sim.Proc, c *Core, path string) {
+	m.op(p, c, false, func() float64 { return m.OpenBase })
+}
+
+// Close implements Metadata.
+func (m *CentralizedMDS) Close(p *sim.Proc, c *Core, path string) {
+	m.op(p, c, false, func() float64 { return m.CloseBase })
+}
+
+// HashedMDS is the PVFS-style metadata policy: file metadata is hashed
+// across one queue per server, so a create storm spreads over NumServers
+// queues instead of thrashing a single metadata server, and no directory
+// scan is charged. 1PFPP degrades far more gracefully than under
+// CentralizedMDS.
+type HashedMDS struct {
+	CreateBase float64
+	OpenBase   float64
+	CloseBase  float64
+
+	queues []*sim.Resource // one per server, lazily sized from the core
+}
+
+var _ Metadata = (*HashedMDS)(nil)
+
+// queueFor hashes a path (FNV-1a) to its metadata server queue.
+func (m *HashedMDS) queueFor(c *Core, path string) *sim.Resource {
+	if m.queues == nil {
+		m.queues = make([]*sim.Resource, len(c.servers))
+		for i := range m.queues {
+			m.queues[i] = sim.NewResource(1)
+		}
+	}
+	var h uint32 = 2166136261
+	for i := 0; i < len(path); i++ {
+		h = (h ^ uint32(path[i])) * 16777619
+	}
+	return m.queues[h%uint32(len(m.queues))]
+}
+
+// op serializes the caller through the path's metadata queue.
+func (m *HashedMDS) op(p *sim.Proc, c *Core, path string, base float64) {
+	q := m.queueFor(c, path)
+	q.Acquire(p)
+	p.Sleep(base * c.MDSJitter())
+	q.Release()
+}
+
+// Create implements Metadata.
+func (m *HashedMDS) Create(p *sim.Proc, c *Core, path string) {
+	m.op(p, c, path, m.CreateBase)
+}
+
+// Open implements Metadata.
+func (m *HashedMDS) Open(p *sim.Proc, c *Core, path string) {
+	m.op(p, c, path, m.OpenBase)
+}
+
+// Close implements Metadata.
+func (m *HashedMDS) Close(p *sim.Proc, c *Core, path string) {
+	m.op(p, c, path, m.CloseBase)
+}

@@ -1,0 +1,496 @@
+// Package storage is the shared storage-path core behind every parallel
+// file system model in the repository. Intrepid's GPFS and PVFS volumes (and
+// any ION-side burst buffer layered above them) share the same physical
+// path — compute node -> pset tree funnel -> ION -> 10 GbE -> file servers —
+// and the same mechanisms: block/stripe math over a striped server array,
+// per-server FIFO queues, per-client stream pipes, and the seeded heavy-tail
+// noise model of a shared, multi-user storage system.
+//
+// What the paper's results hinge on is not that mechanism but *policy*
+// (Section V-C1): GPFS serializes creates at one metadata server and grants
+// byte-range tokens at a file's metanode, while PVFS hashes metadata across
+// servers and takes no locks at all; GPFS write-behind caches on the ION
+// while PVFS commits synchronously. The core therefore exposes three policy
+// seams:
+//
+//   - Metadata: how namespace operations queue and what they cost
+//     (CentralizedMDS vs HashedMDS).
+//   - Concurrency: what a writer must acquire before data moves
+//     (TokenManager vs LockFree).
+//   - DataPath: how a delivered write reaches the servers and how much of
+//     that the caller perceives (BlockPipeline's ION write-behind vs
+//     StripeSync's synchronous commit; internal/bbuf adds a burst-buffer
+//     path through the same seam).
+//
+// A backend (internal/gpfs, internal/pvfs, internal/bbuf) is a Config plus a
+// composition of one policy per seam; it contains no storage-path mechanism
+// of its own.
+//
+// Determinism contract: the core performs RNG splits and draws in a fixed
+// order (the metadata jitter stream first, then one stream per server, in
+// server order; one Float64 per server request and a Pareto draw only on a
+// spike), so a backend composed over it reproduces the pre-refactor
+// gpfs/pvfs timings bit for bit.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/bgp"
+	"repro/internal/data"
+	"repro/internal/fabric"
+	"repro/internal/fsys"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// Config holds the mechanism parameters of the shared storage path.
+// Bandwidths are bytes/s, times are seconds.
+type Config struct {
+	// BlockSize is the striping (and, where a lock policy applies, locking)
+	// granularity: the GPFS file system block or the PVFS stripe unit.
+	BlockSize  int64
+	NumServers int     // striped file servers
+	ServerBW   float64 // per-server bandwidth available to this application
+	ServerLat  float64 // per-request server latency
+
+	// ClientStreamBW caps the throughput of one client writing one file:
+	// the bounded flush pipeline between a rank's ION proxy and the servers.
+	ClientStreamBW float64
+
+	// ServerName prefixes the per-server pipe names ("nsd" for GPFS,
+	// "pvfs" for PVFS), for diagnostics only.
+	ServerName string
+
+	// Noise models the shared, multi-user storage system. A server request
+	// suffers a heavy-tail delay with probability NoiseProb amplified by the
+	// number of distinct clients in the current I/O burst:
+	// p = NoiseProb * min((clients/NoiseConcRef)^NoiseGamma, NoiseMaxFactor).
+	NoiseProb      float64 // base spike probability per server request
+	NoiseAlpha     float64 // Pareto tail index of the spike size
+	NoiseScale     float64 // Pareto scale (minimum spike), seconds
+	NoiseConcRef   float64 // client-count knee of the amplification
+	NoiseGamma     float64 // steepness of the knee
+	NoiseMaxFactor float64 // cap on the amplification
+}
+
+// Validate checks the mechanism configuration.
+func (c Config) Validate() error {
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("storage: block size must be positive")
+	}
+	if c.NumServers <= 0 {
+		return fmt.Errorf("storage: need at least one server")
+	}
+	if c.ServerBW <= 0 || c.ClientStreamBW <= 0 {
+		return fmt.Errorf("storage: bandwidths must be positive")
+	}
+	return nil
+}
+
+// Errors lets a backend brand the namespace errors the core returns, so
+// callers keep matching errors.Is(err, gpfs.ErrNotExist) and friends.
+type Errors struct {
+	NotExist error
+	Exists   error
+	Closed   error
+}
+
+// Generic fallbacks when a backend leaves Errors fields nil.
+var (
+	errNotExist = errors.New("storage: file does not exist")
+	errExists   = errors.New("storage: file already exists")
+	errClosed   = errors.New("storage: handle is closed")
+)
+
+func (e *Errors) fill() {
+	if e.NotExist == nil {
+		e.NotExist = errNotExist
+	}
+	if e.Exists == nil {
+		e.Exists = errExists
+	}
+	if e.Closed == nil {
+		e.Closed = errClosed
+	}
+}
+
+// Backend is the policy composition that turns the core into a concrete
+// file system model.
+type Backend struct {
+	Name        string // fsys.System name ("gpfs", "pvfs", "bbuf")
+	Metadata    Metadata
+	Concurrency Concurrency
+	Data        DataPath
+	Errors      Errors
+}
+
+// Metadata is the metadata-service policy: how Create/Open/Close queue and
+// what they cost. Implementations charge simulated time on p; the core
+// performs the namespace mutation itself afterwards.
+type Metadata interface {
+	Create(p *sim.Proc, c *Core, path string)
+	Open(p *sim.Proc, c *Core, path string)
+	Close(p *sim.Proc, c *Core, path string)
+}
+
+// Concurrency is the concurrency-control policy: what a writer acquires
+// before its data may move toward the servers.
+type Concurrency interface {
+	AcquireWrite(p *sim.Proc, c *Core, rank int, f *File, off, n int64)
+}
+
+// DataPath is the write-path caching policy. Commit schedules the
+// storage-side commits of a write whose client stream finishes delivering at
+// streamEnd and returns the wait that charges the caller's perceived
+// blocking (called by the core after the payload is recorded). Read charges
+// the server->ION->compute-node return path of a read.
+type DataPath interface {
+	Commit(c *Core, h *Handle, rank int, streamEnd float64, off, n int64) func(p *sim.Proc)
+	Read(p *sim.Proc, c *Core, h *Handle, rank int, off, n int64)
+}
+
+// Core is one mounted file system model: the shared mechanism plus the
+// backend's policies. It implements fsys.System.
+type Core struct {
+	m   *bgp.Machine
+	cfg Config
+
+	name string
+	meta Metadata
+	lock Concurrency
+	path DataPath
+	errs Errors
+
+	servers []*Server
+	mdsRNG  *xrand.RNG
+
+	files      map[string]*File
+	dirEntries map[string]int
+	fileSeq    int
+
+	activeCommits int              // storage requests in flight
+	burstClients  map[int]struct{} // distinct ranks writing in the current burst
+	lastIssue     float64          // time of the most recent write issue
+
+	// Stats aggregates observable file system activity.
+	Stats Stats
+}
+
+var _ fsys.System = (*Core)(nil)
+
+// Stats aggregates observable file system activity. Fields that a backend's
+// policies never touch (token counters on a lock-free backend, for example)
+// simply stay zero.
+type Stats struct {
+	Creates       int
+	Opens         int
+	Closes        int
+	TokenGrants   int
+	TokenRevokes  int
+	BytesWritten  int64
+	BytesRead     int64
+	NoiseSpikes   int
+	NoiseSpikeSum float64 // total injected delay, seconds
+}
+
+// Server is one striped file server: a FIFO pipe plus its own noise stream.
+type Server struct {
+	pipe *fabric.Pipe
+	rng  *xrand.RNG
+}
+
+// Pipe returns the server's request pipe.
+func (s *Server) Pipe() *fabric.Pipe { return s.pipe }
+
+// File is one file of the model: striping offset, sparse contents, token
+// state for lock policies, and the per-client stream pipes.
+type File struct {
+	name    string
+	stripe  int                  // striping offset so files start on different servers
+	tokens  map[int64]int        // block index -> owning client (pset/ION id)
+	tokenQ  *sim.Resource        // the file's metanode serializes token grants
+	store   fsys.Store           // sparse real/synthetic contents
+	streams map[int]*fabric.Pipe // per-client stream pipes, lazily created
+}
+
+// Name returns the file's path.
+func (f *File) Name() string { return f.name }
+
+// Store returns the file's sparse contents.
+func (f *File) Store() *fsys.Store { return &f.store }
+
+// Stream returns the client's streaming pipe for the file, modelling the
+// bounded per-stream flush pipeline of one client writing one file.
+func (f *File) Stream(client int, bw float64) *fabric.Pipe {
+	s, ok := f.streams[client]
+	if !ok {
+		s = fabric.NewPipe(fmt.Sprintf("%s/c%d", f.name, client), 0, bw)
+		f.streams[client] = s
+	}
+	return s
+}
+
+// New mounts a file system model on the machine: the mechanism from cfg,
+// the policies from the backend. The RNG split order (metadata stream, then
+// one stream per server) is part of the determinism contract.
+func New(m *bgp.Machine, cfg Config, b Backend) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if b.Metadata == nil || b.Concurrency == nil || b.Data == nil {
+		return nil, fmt.Errorf("storage: backend %q missing a policy", b.Name)
+	}
+	b.Errors.fill()
+	c := &Core{
+		m:            m,
+		cfg:          cfg,
+		name:         b.Name,
+		meta:         b.Metadata,
+		lock:         b.Concurrency,
+		path:         b.Data,
+		errs:         b.Errors,
+		mdsRNG:       m.RNG.Split(),
+		files:        make(map[string]*File),
+		dirEntries:   make(map[string]int),
+		burstClients: make(map[int]struct{}),
+	}
+	prefix := cfg.ServerName
+	if prefix == "" {
+		prefix = "srv"
+	}
+	c.servers = make([]*Server, cfg.NumServers)
+	for i := range c.servers {
+		c.servers[i] = &Server{
+			pipe: fabric.NewPipe(fmt.Sprintf("%s%d", prefix, i), cfg.ServerLat, cfg.ServerBW),
+			rng:  m.RNG.Split(),
+		}
+	}
+	return c, nil
+}
+
+// Name implements fsys.System.
+func (c *Core) Name() string { return c.name }
+
+// Machine returns the machine the file system is mounted on.
+func (c *Core) Machine() *bgp.Machine { return c.m }
+
+// Kernel returns the simulation kernel.
+func (c *Core) Kernel() *sim.Kernel { return c.m.K }
+
+// Config returns the mechanism configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// BlockSize implements fsys.System: the striping/locking granularity.
+func (c *Core) BlockSize() int64 { return c.cfg.BlockSize }
+
+// PsetOf returns the pset (== ION, == storage client) of an MPI rank.
+func (c *Core) PsetOf(rank int) int { return c.m.PsetOfRank(rank) }
+
+// Servers returns the striped server array.
+func (c *Core) Servers() []*Server { return c.servers }
+
+// DirEntries returns the population of a directory, read at service time by
+// directory-scanning metadata policies.
+func (c *Core) DirEntries(dir string) int { return c.dirEntries[dir] }
+
+// MDSJitter draws one sample of the mild OS-level jitter multiplier applied
+// to metadata service times. Exactly one mdsRNG draw per call.
+func (c *Core) MDSJitter() float64 { return 1 + 0.25*c.mdsRNG.Float64() }
+
+// DirOf returns the directory component of a path.
+func DirOf(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return "."
+}
+
+// ExpressCutoff is the message size up to which tree-network transfers
+// interleave with bulk traffic at packet granularity (control messages,
+// headers) instead of queueing behind whole bulk messages.
+const ExpressCutoff = 256 << 10
+
+// ShipToION charges the syscall-shipping cost from a compute rank to its
+// I/O node over the pset's collective-network funnel. Control-sized
+// messages ride the express path.
+func (c *Core) ShipToION(p *sim.Proc, rank int, size int64) {
+	pset := c.m.PsetOfRank(rank)
+	pipe := c.m.Tree.Pset(pset)
+	var end float64
+	if size <= ExpressCutoff {
+		_, end = pipe.TransferExpress(p.Now(), size)
+	} else {
+		_, end = pipe.Transfer(p.Now(), size)
+	}
+	p.SleepUntil(end)
+}
+
+// funnelIn charges a write payload's cut-through of the pset funnel and
+// returns its delivery time at the ION. The funnel's occupancy still
+// contends with the pset's other traffic, but a large write is not
+// store-and-forwarded whole.
+func (c *Core) funnelIn(p *sim.Proc, rank int, size int64) float64 {
+	pipe := c.m.Tree.Pset(c.m.PsetOfRank(rank))
+	if size <= ExpressCutoff {
+		_, end := pipe.TransferExpress(p.Now(), size)
+		return end
+	}
+	_, end := pipe.Transfer(p.Now(), size)
+	return end
+}
+
+// ServerFor returns the server storing block/stripe b of f (round-robin
+// striping with a per-file starting offset).
+func (c *Core) ServerFor(f *File, b int64) *Server {
+	return c.servers[(int64(f.stripe)+b)%int64(len(c.servers))]
+}
+
+// NoiseFactor returns the burst-concurrency amplification of the spike
+// probability at the current moment.
+func (c *Core) NoiseFactor() float64 {
+	if c.cfg.NoiseConcRef <= 0 {
+		return 1
+	}
+	x := float64(len(c.burstClients)) / c.cfg.NoiseConcRef
+	f := 1.0
+	for i := 0.0; i < c.cfg.NoiseGamma; i++ {
+		f *= x
+	}
+	if f > c.cfg.NoiseMaxFactor {
+		f = c.cfg.NoiseMaxFactor
+	}
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// SpikeProb returns the amplified spike probability at the current moment.
+func (c *Core) SpikeProb() float64 { return c.cfg.NoiseProb * c.NoiseFactor() }
+
+// DrawSpike samples the server's noise stream once against prob and returns
+// the heavy-tail delay to add (0 for no spike), updating the noise counters.
+func (c *Core) DrawSpike(srv *Server, prob float64) float64 {
+	if srv.rng.Float64() < prob {
+		spike := srv.rng.Pareto(c.cfg.NoiseScale, c.cfg.NoiseAlpha)
+		c.Stats.NoiseSpikes++
+		c.Stats.NoiseSpikeSum += spike
+		return spike
+	}
+	return 0
+}
+
+// burstIdleGap is how long the storage side must stay idle before the
+// current I/O burst is considered over and its client set resets. Short
+// lulls between the synchronized per-field commits of one checkpoint do not
+// end the burst.
+const burstIdleGap = 5.0
+
+// TrackBurst registers rank as a client of the current I/O burst; the
+// matching ScheduleDrain is issued by the data path once the
+// commit-completion time is known.
+func (c *Core) TrackBurst(rank int) {
+	c.burstClients[rank] = struct{}{}
+	c.activeCommits++
+	c.lastIssue = c.m.K.Now()
+}
+
+// ScheduleDrain retires one in-flight commit at time t; if the storage side
+// then stays idle past the burst gap, the burst's client set resets.
+func (c *Core) ScheduleDrain(t float64) {
+	c.m.K.At(t, func() {
+		c.activeCommits--
+		if c.activeCommits > 0 {
+			return
+		}
+		c.m.K.After(burstIdleGap, func() {
+			if c.activeCommits == 0 && c.m.K.Now()-c.lastIssue >= burstIdleGap {
+				c.burstClients = make(map[int]struct{})
+			}
+		})
+	})
+}
+
+func (c *Core) newFile(path string) *File {
+	f := &File{
+		name:    path,
+		stripe:  c.fileSeq,
+		tokens:  make(map[int64]int),
+		tokenQ:  sim.NewResource(1),
+		streams: make(map[int]*fabric.Pipe),
+	}
+	c.fileSeq++
+	return f
+}
+
+// Create implements fsys.System. The cost includes shipping the request
+// through the rank's pset funnel and whatever queueing the metadata policy
+// models; the namespace mutation itself is mechanism.
+func (c *Core) Create(p *sim.Proc, rank int, path string) (fsys.Handle, error) {
+	c.ShipToION(p, rank, 512)
+	c.meta.Create(p, c, path)
+	if _, ok := c.files[path]; ok {
+		return nil, fmt.Errorf("%w: %s", c.errs.Exists, path)
+	}
+	f := c.newFile(path)
+	c.files[path] = f
+	c.dirEntries[DirOf(path)]++
+	c.Stats.Creates++
+	return c.newHandle(f), nil
+}
+
+// Open implements fsys.System.
+func (c *Core) Open(p *sim.Proc, rank int, path string) (fsys.Handle, error) {
+	c.ShipToION(p, rank, 512)
+	c.meta.Open(p, c, path)
+	f, ok := c.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", c.errs.NotExist, path)
+	}
+	c.Stats.Opens++
+	return c.newHandle(f), nil
+}
+
+// Preload implements fsys.System: installs a pre-existing synthetic file of
+// the given size without charging simulation time. It overwrites any
+// existing entry.
+func (c *Core) Preload(path string, size int64) {
+	f := c.newFile(path)
+	f.store.MarkSynthetic(size)
+	if _, exists := c.files[path]; !exists {
+		c.dirEntries[DirOf(path)]++
+	}
+	c.files[path] = f
+}
+
+// PreloadBytes implements fsys.System: installs a pre-existing input file
+// with real contents without charging simulation time.
+func (c *Core) PreloadBytes(path string, contents []byte) {
+	f := c.newFile(path)
+	f.store.Write(0, data.FromBytes(contents))
+	if _, exists := c.files[path]; !exists {
+		c.dirEntries[DirOf(path)]++
+	}
+	c.files[path] = f
+}
+
+// Exists implements fsys.System.
+func (c *Core) Exists(path string) bool {
+	_, ok := c.files[path]
+	return ok
+}
+
+// FileSize implements fsys.System.
+func (c *Core) FileSize(path string) (int64, error) {
+	f, ok := c.files[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", c.errs.NotExist, path)
+	}
+	return f.store.Size(), nil
+}
+
+// NumFiles implements fsys.System.
+func (c *Core) NumFiles() int { return len(c.files) }
