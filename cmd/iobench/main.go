@@ -27,18 +27,23 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment to run: all, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, eq1, eq7, meshread, fscompare, drainoverlap, priorwork, restart, multilevel, ablations")
+		which    = flag.String("exp", "all", "experiment to run: all, "+strings.Join(expNames, ", "))
 		np       = flag.Int("np", 0, "override the processor sweep with a single count (0 = paper scale 16K/32K/64K)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		quiet    = flag.Bool("quiet", false, "disable the shared-storage noise model")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "experiment worker-pool size (1 = serial); results are identical at any setting")
 		fsName   = flag.String("fs", "gpfs", "storage backend for checkpoint experiments: gpfs, pvfs, bbuf (fscompare, drainoverlap and the GPFS-knob ablations/priorwork pick their own backends)")
+		mtbf     = flag.Float64("mtbf", 6, "per-component MTBF in hours for the fault experiments (faultsweep, makespan)")
 	)
 	flag.Parse()
 	perf.TuneGC()
 
 	if !exp.KnownFS(*fsName) {
 		fmt.Fprintf(os.Stderr, "unknown file system %q (valid: %s)\n", *fsName, strings.Join(exp.FileSystems, ", "))
+		os.Exit(2)
+	}
+	if !knownExp(*which) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: all, %s)\n", *which, strings.Join(expNames, ", "))
 		os.Exit(2)
 	}
 
@@ -261,6 +266,34 @@ func main() {
 		return nil
 	})
 
+	run("faultsweep", func() error {
+		np2 := 2048
+		if len(o.NPs) == 1 {
+			np2 = o.NPs[0]
+		}
+		rows, err := exp.FaultSweep(o, np2, *mtbf)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Extension: checkpoint survivability under injected faults ==")
+		fmt.Println(exp.FaultTable(rows))
+		return nil
+	})
+
+	run("makespan", func() error {
+		np2 := 2048
+		if len(o.NPs) == 1 {
+			np2 = o.NPs[0]
+		}
+		rows, err := exp.Makespan(o, np2, *mtbf)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Extension: expected makespan (Daly model on measured C and R) ==")
+		fmt.Println(exp.MakespanTable(rows))
+		return nil
+	})
+
 	run("ablations", func() error {
 		np16, np64 := 16384, 65536
 		if len(o.NPs) == 1 {
@@ -286,16 +319,24 @@ func main() {
 		return nil
 	})
 
-	if *which != "all" && !ran(*which) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
-		os.Exit(2)
-	}
 }
 
-// ran reports whether the name is a known experiment (for the error path).
-func ran(name string) bool {
-	known := "all fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table1 eq1 eq7 meshread fscompare drainoverlap priorwork restart multilevel ablations"
-	for _, k := range strings.Fields(known) {
+// expNames is the single registry of experiment names: the -exp flag is
+// validated against it up front (like -fs), so a typo exits 2 with the valid
+// set before any simulation starts.
+var expNames = []string{
+	"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+	"table1", "eq1", "eq7", "meshread", "fscompare", "drainoverlap",
+	"priorwork", "restart", "multilevel", "faultsweep", "makespan",
+	"ablations",
+}
+
+// knownExp reports whether name selects an experiment ("all" included).
+func knownExp(name string) bool {
+	if name == "all" {
+		return true
+	}
+	for _, k := range expNames {
 		if name == k {
 			return true
 		}

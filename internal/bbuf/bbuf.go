@@ -22,9 +22,11 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/fsys"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/xrand"
 )
 
 // Errors returned by namespace operations.
@@ -182,6 +184,27 @@ func MustNew(m *bgp.Machine, cfg Config) *FileSystem {
 // Config returns the mounted configuration.
 func (fs *FileSystem) Config() Config { return fs.cfg }
 
+// EnableFaults attaches the fault injector to the shared storage core and
+// subscribes the buffer tier to ION life-cycle events: a dead ION loses its
+// buffered (and in-flight-drain) bytes, its pset's writes spill to the
+// synchronous path until it restores, and drains retry/fail over against
+// the shared servers like any other commit.
+func (fs *FileSystem) EnableFaults(in *fault.Injector, pol storage.FaultPolicy, rng *xrand.RNG) {
+	fs.Core.EnableFaults(in, pol, rng)
+	fs.path.init(fs.Core)
+	in.Subscribe(func(ev fault.Event) {
+		if ev.Class != fault.ION || ev.Index >= len(fs.path.dead) {
+			return
+		}
+		switch ev.Kind {
+		case fault.Fail:
+			fs.path.ionDown(ev.Index)
+		case fault.Restore:
+			fs.path.dead[ev.Index] = false
+		}
+	})
+}
+
 // Buffer returns the burst-buffer tier's counters.
 func (fs *FileSystem) Buffer() BufferStats { return fs.path.stats }
 
@@ -202,6 +225,11 @@ type BufferStats struct {
 	DrainedBytes  int64   // bytes whose background drain has completed
 	LastDrainEnd  float64 // when the last completed drain reached the servers
 	PeakUsedBytes int64   // high-water mark of any single ION's buffer
+	// LostBytes counts absorbed bytes that never became durable: buffer
+	// contents (including drains in flight) on an ION that died, plus
+	// drains that exhausted the storage retry budget. Zero without fault
+	// injection.
+	LostBytes int64
 }
 
 // burstPath is the burst-buffer write-path policy. Absorption counts as
@@ -213,6 +241,8 @@ type burstPath struct {
 	absorb []*fabric.Pipe // per-ION absorption pipe (memory-speed)
 	drain  []*fabric.Pipe // per-ION background drain pipe
 	used   []int64        // per-ION bytes buffered, awaiting drain
+	epoch  []int          // per-ION death epoch; stale drains check it
+	dead   []bool         // per-ION down flag; writes spill while set
 	stats  BufferStats
 }
 
@@ -226,20 +256,36 @@ func (d *burstPath) init(c *storage.Core) {
 	d.absorb = make([]*fabric.Pipe, n)
 	d.drain = make([]*fabric.Pipe, n)
 	d.used = make([]int64, n)
+	d.epoch = make([]int, n)
+	d.dead = make([]bool, n)
 	for i := 0; i < n; i++ {
 		d.absorb[i] = fabric.NewPipe(fmt.Sprintf("bb/ion%d", i), 0, d.cfg.BufferBW)
 		d.drain[i] = fabric.NewPipe(fmt.Sprintf("bbdrain/ion%d", i), 0, d.cfg.DrainBW)
 	}
 }
 
+// ionDown loses the ION's buffer: everything absorbed but not yet drained —
+// drains in flight included — is gone, and the epoch bump voids their
+// completion callbacks so the accounting cannot double-free.
+func (d *burstPath) ionDown(i int) {
+	d.dead[i] = true
+	if d.used[i] > 0 {
+		d.stats.LostBytes += d.used[i]
+		d.used[i] = 0
+	}
+	d.epoch[i]++
+}
+
 // Commit implements storage.DataPath. A write that fits the ION's buffer is
 // absorbed at memory speed and drained in the background; one that would
 // overflow takes the synchronous stripe path (storage.StripeSync) end to
 // end, exactly like a cache-off PVFS write.
-func (d *burstPath) Commit(c *storage.Core, h *storage.Handle, rank int, streamEnd float64, off, n int64) func(*sim.Proc) {
+func (d *burstPath) Commit(c *storage.Core, h *storage.Handle, rank int, streamEnd float64, off, n int64) func(*sim.Proc) error {
 	d.init(c)
 	ion := c.Machine().PsetOfRank(rank)
-	if d.cfg.BufferPerION <= 0 || d.used[ion]+n > d.cfg.BufferPerION {
+	if d.dead[ion] || d.cfg.BufferPerION <= 0 || d.used[ion]+n > d.cfg.BufferPerION {
+		// Full buffer — or a dead ION under fault injection, which degrades
+		// its whole pset to the synchronous path until it restores.
 		d.stats.SpilledBytes += n
 		return storage.StripeSync{}.Commit(c, h, rank, streamEnd, off, n)
 	}
@@ -260,7 +306,12 @@ func (d *burstPath) Commit(c *storage.Core, h *storage.Handle, rank int, streamE
 		absorbEnd = streamEnd
 	}
 	d.drainOut(c, h, ion, absorbEnd, off, n)
-	return func(p *sim.Proc) { p.SleepUntil(absorbEnd) }
+	// Absorption counts as completion: drain failures are background loss,
+	// accounted in BufferStats, never surfaced to the writer.
+	return func(p *sim.Proc) error {
+		p.SleepUntil(absorbEnd)
+		return nil
+	}
 }
 
 // drainOut schedules the background drain of an absorbed write: the ION's
@@ -277,7 +328,7 @@ func (d *burstPath) drainOut(c *storage.Core, h *storage.Handle, ion int, ready 
 	servers := c.Servers()
 	revolution := ss * int64(len(servers))
 	end := ready
-	var cum int64
+	var cum, lost int64
 	for lo := off; lo < off+n; {
 		hi := off + n
 		if r := (lo/revolution + 1) * revolution; r < hi {
@@ -286,12 +337,21 @@ func (d *burstPath) drainOut(c *storage.Core, h *storage.Handle, ion int, ready 
 		span := hi - lo
 		cum += span
 		deliver := drainStart + float64(cum)/d.cfg.DrainBW
-		ethEnd := m.Eth.Transfer(deliver, ion, span)
+		srv, fdelay, ferr := c.PlanServer(f, lo/ss, deliver)
+		if ferr != nil {
+			// The retry budget exhausted against the shared servers: the
+			// rest of this drain cannot land and its bytes are lost.
+			lost = off + n - lo
+			if deliver+fdelay > end {
+				end = deliver + fdelay
+			}
+			break
+		}
+		ethEnd := m.Eth.Transfer(deliver+fdelay, ion, span)
 		perServer := span / int64(len(servers))
 		if perServer == 0 {
 			perServer = span
 		}
-		srv := c.ServerFor(f, lo/ss)
 		_, e := srv.Pipe().Transfer(ethEnd, perServer)
 		e += c.DrawSpike(srv, spikeP)
 		if e > end {
@@ -301,9 +361,19 @@ func (d *burstPath) drainOut(c *storage.Core, h *storage.Handle, ion int, ready 
 	}
 	c.ScheduleDrain(end)
 	done := end
+	ep := 0
+	if d.epoch != nil {
+		ep = d.epoch[ion]
+	}
 	c.Kernel().At(done, func() {
+		if d.epoch[ion] != ep {
+			// The ION died while this drain was in flight; ionDown already
+			// wrote the whole buffer off as lost.
+			return
+		}
 		d.used[ion] -= n
-		d.stats.DrainedBytes += n
+		d.stats.DrainedBytes += n - lost
+		d.stats.LostBytes += lost
 		if done > d.stats.LastDrainEnd {
 			d.stats.LastDrainEnd = done
 		}
@@ -313,6 +383,6 @@ func (d *burstPath) drainOut(c *storage.Core, h *storage.Handle, ion int, ready 
 // Read implements storage.DataPath: restarts read from the shared servers
 // (drains have long since landed by restart time), over the standard
 // striped return path.
-func (d *burstPath) Read(p *sim.Proc, c *storage.Core, h *storage.Handle, rank int, off, n int64) {
-	c.ChargeStripedRead(p, h.File(), rank, off, n)
+func (d *burstPath) Read(p *sim.Proc, c *storage.Core, h *storage.Handle, rank int, off, n int64) error {
+	return c.ChargeStripedRead(p, h.File(), rank, off, n)
 }

@@ -119,6 +119,16 @@ type Stats struct {
 	// and direct writers; zero for rbIO workers, whose data becomes durable
 	// on their writer's clock).
 	Durable float64
+
+	// Fault-injection outcomes (all zero without injected faults).
+	Skipped  bool // the rank's node was down; it did no checkpoint I/O
+	DeadRank bool // the rank's node was down during the step
+	// Failed reports that the rank's storage commits exhausted the retry
+	// budget: the step completed but this rank's data is not durable.
+	Failed bool
+	// MissingChunks is, on an rbIO writer, how many group members' chunks
+	// never arrived (dead or timed-out peers) and were recorded as lost.
+	MissingChunks int
 }
 
 // Blocked returns how long the application was blocked on this rank.
@@ -129,6 +139,34 @@ type Env struct {
 	FS  fsys.System
 	Dir string
 	Log *iolog.Log // optional op log for the Darshan-style analyses
+
+	// RankUp reports whether a world rank's compute node is currently up.
+	// nil means no fault injection: every rank is up and strategies take
+	// their exact fault-unaware code paths.
+	RankUp func(worldRank int) bool
+	// PeerTimeout is how long fault-aware strategies wait on a peer's
+	// message before declaring the peer dead (0: DefaultPeerTimeout).
+	PeerTimeout float64
+}
+
+// DefaultPeerTimeout is the stock dead-peer detection window, comfortably
+// above any same-checkpoint message latency in the model.
+const DefaultPeerTimeout = 1.0
+
+// FaultAware reports whether fault injection is active for this run.
+func (e *Env) FaultAware() bool { return e.RankUp != nil }
+
+// Up reports whether a world rank's node is up (always true without fault
+// injection).
+func (e *Env) Up(worldRank int) bool {
+	return e.RankUp == nil || e.RankUp(worldRank)
+}
+
+func (e *Env) peerTimeout() float64 {
+	if e.PeerTimeout > 0 {
+		return e.PeerTimeout
+	}
+	return DefaultPeerTimeout
 }
 
 func (e *Env) log(rank int, op iolog.Op, start, end float64, bytes int64) {

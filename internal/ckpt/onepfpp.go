@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cemfmt"
 	"repro/internal/data"
+	"repro/internal/fsys"
 	"repro/internal/iolog"
 	"repro/internal/mpi"
 )
@@ -36,19 +37,32 @@ func (pl *onePlan) Write(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, error) {
 	}
 	p := r.Proc()
 	start := r.Now()
+	if env.FaultAware() && !env.Up(r.ID()) {
+		return Stats{Role: RoleAll, Start: start, End: start, Skipped: true, DeadRank: true}, nil
+	}
+	// Storage unavailability is an outcome of the step (the checkpoint is
+	// lost), not a simulation failure: report it in Stats and let the run
+	// continue.
+	failed := func(err error) (Stats, error) {
+		if !fsys.Unavailable(err) {
+			return Stats{}, err
+		}
+		now := r.Now()
+		return Stats{Role: RoleAll, Start: start, End: now, Perceived: now - start, Failed: true}, nil
+	}
 	path := rankFile(env.Dir, cp.Step, pl.c.Rank(r))
 
 	t0 := r.Now()
 	h, err := env.FS.Create(p, r.ID(), path)
 	if err != nil {
-		return Stats{}, fmt.Errorf("ckpt/1pfpp: %w", err)
+		return failed(fmt.Errorf("ckpt/1pfpp: %w", err))
 	}
 	env.log(r.ID(), iolog.OpCreate, t0, r.Now(), 0)
 
 	hdr := buildHeader(cp, []int64{chunk})
 	t1 := r.Now()
 	if err := h.WriteAt(p, r.ID(), 0, data.FromBytes(hdr.Marshal())); err != nil {
-		return Stats{}, err
+		return failed(err)
 	}
 	env.log(r.ID(), iolog.OpWrite, t1, r.Now(), hdr.HeaderSize())
 
@@ -58,14 +72,14 @@ func (pl *onePlan) Write(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, error) {
 		payload := data.Concat(data.FromBytes(cemfmt.BlockHeader(f.Name, chunk)), f.Data)
 		t2 := r.Now()
 		if err := h.WriteAt(p, r.ID(), hdr.FieldOffset(fi), payload); err != nil {
-			return Stats{}, err
+			return failed(err)
 		}
 		env.log(r.ID(), iolog.OpWrite, t2, r.Now(), payload.Len())
 	}
 
 	t3 := r.Now()
 	if err := h.Close(p, r.ID()); err != nil {
-		return Stats{}, err
+		return failed(err)
 	}
 	env.log(r.ID(), iolog.OpClose, t3, r.Now(), 0)
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cemfmt"
 	"repro/internal/data"
+	"repro/internal/fsys"
 	"repro/internal/iolog"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
@@ -117,10 +118,162 @@ func (pl *rbPlan) Write(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, error) {
 	if _, err := cp.ChunkBytes(); err != nil {
 		return Stats{}, err
 	}
+	if env.FaultAware() && !pl.cfg.SingleFile {
+		// nf=ng groups are independent, so a group can skip dead members
+		// and re-elect its writer. nf=1 cannot: the writers' communicator
+		// collectives are fixed at plan time, so under faults dead ranks
+		// ghost-participate through the plain path below and the loss is
+		// accounted at the aggregate level.
+		return pl.writeFT(env, r, cp)
+	}
 	if pl.isWriter {
 		return pl.writeWriter(env, r, cp)
 	}
 	return pl.writeWorker(env, r, cp)
+}
+
+// writeFT is the fault-aware nf=ng step. A dead rank contributes nothing; a
+// live group elects the lowest-ranked surviving member as writer (each rank
+// evaluates liveness at its own entry, so views can disagree across a
+// failure edge — the writer's per-peer receive timeouts keep every
+// disagreement deadlock-free, at worst costing a chunk recorded as
+// missing). The elected writer waits env.PeerTimeout per believed-alive
+// peer before writing the group file with the missing chunks zero-length.
+func (pl *rbPlan) writeFT(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, error) {
+	me := pl.group.Rank(r)
+	if !env.Up(r.ID()) {
+		now := r.Now()
+		role := RoleWorker
+		if pl.isWriter {
+			role = RoleWriter
+		}
+		return Stats{Role: role, Start: now, End: now, Skipped: true, DeadRank: true}, nil
+	}
+	gs := pl.group.Size()
+	writer := 0
+	for ; writer < gs; writer++ {
+		if env.Up(pl.group.WorldRank(writer)) {
+			break
+		}
+	}
+	if me != writer {
+		return pl.writeWorkerTo(env, r, cp, writer)
+	}
+	return pl.writeWriterFT(env, r, cp, me)
+}
+
+// writeWorkerTo is writeWorker aimed at an elected writer. When the group's
+// original writer is dead, the worker first burns a send-timeout window
+// discovering it (the paper's Isend hand-off is fire-and-forget, so the
+// failure only shows when the transport gives up on the dead node).
+func (pl *rbPlan) writeWorkerTo(env *Env, r *mpi.Rank, cp *Checkpoint, writer int) (Stats, error) {
+	p := r.Proc()
+	start := r.Now()
+	perceived := 0.0
+	if writer != 0 {
+		d := env.peerTimeout()
+		p.Sleep(d)
+		perceived += d
+	}
+	for fi, f := range cp.Fields {
+		t0 := r.Now()
+		req := pl.group.Isend(r, writer, fieldTag(cp.Step, fi), f.Data)
+		req.Wait(p)
+		perceived += req.LocalTime()
+		env.log(r.ID(), iolog.OpSend, t0, r.Now(), f.Data.Len())
+	}
+	end := r.Now()
+	return Stats{
+		Role:      RoleWorker,
+		Start:     start,
+		End:       end,
+		Perceived: perceived,
+		Bytes:     cp.TotalBytes(),
+	}, nil
+}
+
+// writeWriterFT aggregates what the surviving group can deliver and commits
+// it, recording dead or unresponsive peers' chunks as missing rather than
+// blocking forever on them.
+func (pl *rbPlan) writeWriterFT(env *Env, r *mpi.Rank, cp *Checkpoint, me int) (Stats, error) {
+	p := r.Proc()
+	start := r.Now()
+	gs := pl.group.Size()
+	timeout := env.peerTimeout()
+	if me != 0 {
+		// Re-elected writer: the workers spend one detection window
+		// discovering the original writer is dead before re-sending, so an
+		// elected writer opening its receive windows immediately would time
+		// out on the first live peer. It burns the same window.
+		p.Sleep(timeout)
+	}
+
+	chunkBytes := make([]int64, gs)
+	chunkBytes[me] = cp.Fields[0].Data.Len()
+	missing := make([]bool, gs)
+	fieldData := make([][]data.Buf, len(cp.Fields))
+	for fi := range cp.Fields {
+		fieldData[fi] = make([]data.Buf, gs)
+		fieldData[fi][me] = cp.Fields[fi].Data
+		for w := 0; w < gs; w++ {
+			if w == me || missing[w] {
+				continue
+			}
+			if !env.Up(pl.group.WorldRank(w)) {
+				// Known dead: no point waiting a timeout on it.
+				missing[w] = true
+				continue
+			}
+			t0 := r.Now()
+			buf, _, ok := pl.group.RecvTimeout(r, w, fieldTag(cp.Step, fi), timeout)
+			if !ok {
+				missing[w] = true
+				continue
+			}
+			env.log(r.ID(), iolog.OpRecv, t0, r.Now(), buf.Len())
+			if chunkBytes[w] == 0 {
+				chunkBytes[w] = buf.Len()
+			} else if buf.Len() != chunkBytes[w] {
+				return Stats{}, fmt.Errorf("ckpt/rbio: worker %d field %d sent %d bytes, want %d",
+					w, fi, buf.Len(), chunkBytes[w])
+			}
+			fieldData[fi][w] = buf
+		}
+	}
+	// A missing member's chunk is recorded zero-length in the header: the
+	// file stays structurally valid and restart knows exactly which ranks
+	// lost their state.
+	missingN := 0
+	for w := range missing {
+		if !missing[w] {
+			continue
+		}
+		missingN++
+		chunkBytes[w] = 0
+		for fi := range fieldData {
+			fieldData[fi][w] = data.Buf{}
+		}
+	}
+	if err := pl.commitIndependent(env, r, cp, chunkBytes, fieldData); err != nil {
+		if fsys.Unavailable(err) {
+			// The group's servers are gone too: the step completes but
+			// nothing from this group is durable.
+			now := r.Now()
+			return Stats{Role: RoleWriter, Start: start, End: now, Perceived: now - start,
+				Failed: true, MissingChunks: missingN}, nil
+		}
+		return Stats{}, err
+	}
+	end := r.Now()
+	return Stats{
+		Role:          RoleWriter,
+		Start:         start,
+		End:           end,
+		Perceived:     end - start,
+		Bytes:         cp.TotalBytes(), // own share; workers report theirs
+		Durable:       end,
+		MissingChunks: missingN,
+	}, nil
 }
 
 // writeWorker ships the rank's fields to its writer with non-blocking sends

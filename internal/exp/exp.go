@@ -15,6 +15,8 @@ import (
 	"repro/internal/bbuf"
 	"repro/internal/bgp"
 	"repro/internal/ckpt"
+	"repro/internal/fault"
+	"repro/internal/fsys"
 	"repro/internal/gpfs"
 	"repro/internal/iolog"
 	"repro/internal/mpi"
@@ -95,6 +97,7 @@ type Run struct {
 	FSStats gpfs.Stats
 	Buffer  *bbuf.BufferStats // burst-buffer tier counters; nil unless FS was bbuf
 	Events  uint64            // kernel events dispatched over the whole simulation
+	Fault   *FaultOutcome     // fault-injection outcome; nil unless the job carried a FaultSpec
 }
 
 // runCheckpoint executes exactly one coordinated checkpoint step of the
@@ -118,12 +121,20 @@ func runCheckpoint(o Options, j Job) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
+	var inj *fault.Injector
+	if j.Faults != nil {
+		// Armed before the world spawns so the fault events' kernel sequence
+		// numbers are fixed by the schedule alone (determinism contract).
+		if inj, err = attachFaults(k, m, fs, j.Faults); err != nil {
+			return nil, err
+		}
+	}
 	w := mpi.NewWorld(m, mpi.DefaultConfig())
 	var log *iolog.Log
 	if j.WithLog {
 		log = &iolog.Log{}
 	}
-	res, err := nekcem.Run(w, fs, nekcem.RunConfig{
+	rcfg := nekcem.RunConfig{
 		Mesh:            nekcem.PaperMesh(np),
 		Strategy:        j.Strategy,
 		Dir:             "ckpt",
@@ -134,8 +145,20 @@ func runCheckpoint(o Options, j Job) (*Run, error) {
 		PayloadFactor:   nekcem.PaperPayloadFactor,
 		Compute:         nekcem.DefaultComputeModel(),
 		Log:             log,
-	})
+	}
+	if inj != nil {
+		rcfg.RankUp = func(rank int) bool { return inj.Up(fault.Node, m.NodeOfRank(rank)) }
+	}
+	res, err := nekcem.Run(w, fs, rcfg)
 	if err != nil {
+		if j.Faults != nil && fsys.Unavailable(err) {
+			// A strategy without a fault-aware path hit dead storage
+			// mid-collective: the checkpoint is lost, but the trial itself
+			// succeeded at measuring that.
+			return &Run{NP: np, FSStats: *stats, Events: k.Events(), Fault: &FaultOutcome{
+				Lost: true, WriteError: err.Error(), Counts: inj.Counts(),
+			}}, nil
+		}
 		return nil, fmt.Errorf("exp: %s on %s at np=%d: %w", j.Strategy.Name(), fs.Name(), np, err)
 	}
 	if len(res.Checkpoints) != 1 {
@@ -155,7 +178,44 @@ func runCheckpoint(o Options, j Job) (*Run, error) {
 		st := b.Buffer()
 		r.Buffer = &st
 	}
+	if j.Faults != nil {
+		r.Fault = faultOutcome(o, j, m, fs, r, inj)
+		r.Events = k.Events()
+	}
 	return r, nil
+}
+
+// faultOutcome condenses a faulted run's loss accounting and, when the spec
+// asks and nothing was lost, drives a fresh job's restart from the surviving
+// checkpoint on the same (possibly still-degraded) storage.
+func faultOutcome(o Options, j Job, m *bgp.Machine, fs fsys.System, r *Run, inj *fault.Injector) *FaultOutcome {
+	agg := r.Agg
+	fo := &FaultOutcome{
+		DeadRanks:     agg.DeadRanks,
+		SkippedRanks:  agg.SkippedRanks,
+		MissingChunks: agg.MissingChunks,
+		FailedRanks:   agg.FailedRanks,
+		Retries:       r.FSStats.Retries,
+		Failovers:     r.FSStats.Failovers,
+		CommitErrors:  r.FSStats.CommitErrors,
+		Counts:        inj.Counts(),
+	}
+	if r.Buffer != nil {
+		fo.LostBufferBytes = r.Buffer.LostBytes
+	}
+	fo.Lost = agg.Lost() || fo.LostBufferBytes > 0 || fo.CommitErrors > 0
+	if !j.Faults.TryRestart || fo.Lost {
+		return fo
+	}
+	fo.RestartAttempted = true
+	w2 := mpi.NewWorld(m, mpi.DefaultConfig())
+	res2, err := nekcem.Run(w2, fs, nekcem.RunConfig{
+		Mesh: nekcem.PaperMesh(r.NP), Strategy: j.Strategy, Dir: "ckpt",
+		Steps: 0, RestartStep: 1, Synthetic: true, SkipPresetup: true,
+		PayloadFactor: nekcem.PaperPayloadFactor, Compute: nekcem.DefaultComputeModel(),
+	})
+	fo.RestartOK = err == nil && res2.Restored
+	return fo
 }
 
 // FormatTable renders rows as an aligned text table.

@@ -1,0 +1,180 @@
+package exp
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/fault"
+)
+
+// faultedRun executes one checkpoint job at np with the given explicit fault
+// schedule and returns the run.
+func faultedRun(t *testing.T, np int, strat ckpt.Strategy, sched fault.Schedule) *Run {
+	t.Helper()
+	r, err := runCheckpoint(Options{Seed: 1}, Job{NP: np, Strategy: strat, Faults: &FaultSpec{
+		Seed: 7, Schedule: sched,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fault == nil {
+		t.Fatal("faulted job returned no FaultOutcome")
+	}
+	return r
+}
+
+// TestRbIOWriterDeathReelection is the targeted re-election scenario: the
+// node hosting group 0's designated writer (rank 0, node 0) dies before the
+// checkpoint. The group's four co-located ranks skip, the survivors elect
+// the next rank up (rank 4), and the group file is written with exactly the
+// dead ranks' chunks missing — no deadlock, no error.
+func TestRbIOWriterDeathReelection(t *testing.T) {
+	np := 256
+	r := faultedRun(t, np, DefaultRbIOWithGroup(64), fault.Schedule{
+		{Time: 1e-9, Class: fault.Node, Index: 0, Kind: fault.Fail},
+	})
+	fo := r.Fault
+	// Node 0 hosts ranks 0..3, all in group 0 (64 ranks per group).
+	if fo.DeadRanks != 4 || fo.SkippedRanks != 4 {
+		t.Errorf("dead/skipped ranks = %d/%d, want 4/4", fo.DeadRanks, fo.SkippedRanks)
+	}
+	if fo.MissingChunks != 4 {
+		t.Errorf("missing chunks = %d, want 4 (ranks 0-3 of group 0)", fo.MissingChunks)
+	}
+	if !fo.Lost {
+		t.Error("a checkpoint with missing chunks must count as lost")
+	}
+	if fo.CommitErrors != 0 || fo.WriteError != "" {
+		t.Errorf("storage should have survived: commitErrors=%d writeError=%q", fo.CommitErrors, fo.WriteError)
+	}
+	// The re-elected writer (rank 4) did writer work: the run still wrote
+	// the surviving 252 ranks' data.
+	want := r.S * int64(np-4) / int64(np)
+	if r.Agg.Bytes < want {
+		t.Errorf("wrote %d bytes, want at least the %d survivors' share", r.Agg.Bytes, want)
+	}
+	if role := r.PerRank[4].Role; role != ckpt.RoleWriter {
+		t.Errorf("rank 4 role = %v, want re-elected writer", role)
+	}
+}
+
+// TestMidWriteNodeDeathLosesCheckpoint pins the vulnerability-window model
+// for a non-grouped strategy: a node death while 1PFPP ranks are writing
+// makes those ranks' checkpoints non-durable (DeadRanks > 0, Lost), while
+// the same death after the write window leaves the checkpoint intact.
+func TestMidWriteNodeDeathLosesCheckpoint(t *testing.T) {
+	np := 256
+	// Fault-free reference run to locate the write window.
+	clean, err := runCheckpoint(Options{Seed: 1}, Job{NP: np, Strategy: ckpt.OnePFPP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := (clean.Agg.Start + clean.Agg.MaxEnd) / 2
+	after := clean.Agg.MaxEnd + clean.Result.Wall // comfortably past everything
+
+	r := faultedRun(t, np, ckpt.OnePFPP{}, fault.Schedule{
+		{Time: mid, Class: fault.Node, Index: 2, Kind: fault.Fail},
+	})
+	if r.Fault.DeadRanks == 0 {
+		t.Errorf("node death at %.3fs inside write window [%.3f, %.3f] lost no ranks",
+			mid, clean.Agg.Start, clean.Agg.MaxEnd)
+	}
+	if !r.Fault.Lost {
+		t.Error("mid-write node death must lose the checkpoint")
+	}
+
+	r2 := faultedRun(t, np, ckpt.OnePFPP{}, fault.Schedule{
+		{Time: after, Class: fault.Node, Index: 2, Kind: fault.Fail},
+	})
+	if r2.Fault.Lost {
+		t.Errorf("node death at %.1fs, after the write window, should not lose the checkpoint", after)
+	}
+}
+
+// TestServerDeathFailsOver pins the storage stack's survival path: one file
+// server dying mid-checkpoint redirects its commits to surviving servers
+// (failovers > 0) without a single commit error, and the checkpoint is not
+// lost.
+func TestServerDeathFailsOver(t *testing.T) {
+	np := 256
+	clean, err := runCheckpoint(Options{Seed: 1}, Job{NP: np, Strategy: ckpt.OnePFPP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := (clean.Agg.Start + clean.Agg.MaxEnd) / 2
+	r := faultedRun(t, np, ckpt.OnePFPP{}, fault.Schedule{
+		{Time: mid, Class: fault.Server, Index: 0, Kind: fault.Fail},
+	})
+	fo := r.Fault
+	if fo.Failovers == 0 {
+		t.Error("server death mid-checkpoint should have redirected commits (failovers = 0)")
+	}
+	if fo.CommitErrors != 0 {
+		t.Errorf("failover should have absorbed the outage, got %d commit errors", fo.CommitErrors)
+	}
+	if fo.Lost {
+		t.Error("checkpoint should survive a single server death")
+	}
+	// The outage costs time: the faulted step is at least as slow as clean.
+	if r.Agg.StepTime() < clean.Agg.StepTime() {
+		t.Errorf("faulted step (%.3fs) faster than clean step (%.3fs)", r.Agg.StepTime(), clean.Agg.StepTime())
+	}
+}
+
+// faultSweepAt renders the survivability table at a reduced scale with the
+// given worker-pool size.
+func faultSweepAt(t *testing.T, parallel int) string {
+	t.Helper()
+	rows, err := FaultSweepN(Options{Seed: 3, Parallel: parallel}, 256, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FaultTable(rows)
+}
+
+// TestFaultSweepDeterministicAcrossWorkers extends the reproducibility
+// regression to fault injection: the sampled schedules, the retry jitter and
+// the restart attempts must make the printed table byte-identical at any
+// worker-pool size and GOMAXPROCS.
+func TestFaultSweepDeterministicAcrossWorkers(t *testing.T) {
+	ref := faultSweepAt(t, 1)
+	if got := faultSweepAt(t, 1); got != ref {
+		t.Errorf("serial rerun differs:\n%s\nvs\n%s", got, ref)
+	}
+	if got := faultSweepAt(t, 4); got != ref {
+		t.Errorf("4-worker pool differs:\n%s\nvs\n%s", got, ref)
+	}
+	if got := faultSweepAt(t, runtime.NumCPU()); got != ref {
+		t.Errorf("NumCPU pool differs:\n%s\nvs\n%s", got, ref)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	if got := faultSweepAt(t, 4); got != ref {
+		t.Errorf("GOMAXPROCS=1 with 4 workers differs:\n%s\nvs\n%s", got, ref)
+	}
+}
+
+// TestFaultFreeSpecMatchesNoSpec guards the zero-fault identity: a job armed
+// with an empty explicit schedule must measure exactly what an unfaulted job
+// measures — the injector, the retry plumbing and the fault-aware strategy
+// paths must all be free when nothing fails.
+func TestFaultFreeSpecMatchesNoSpec(t *testing.T) {
+	for _, strat := range faultStrategies(256) {
+		clean, err := runCheckpoint(Options{Seed: 1}, Job{NP: 256, Strategy: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulted := faultedRun(t, 256, strat, fault.Schedule{})
+		if faulted.Fault.Lost {
+			t.Errorf("%s: empty schedule lost a checkpoint", strat.Name())
+		}
+		if clean.Agg.StepTime() != faulted.Agg.StepTime() {
+			t.Errorf("%s: step time %.9f with empty schedule, %.9f without — zero faults must be free",
+				strat.Name(), faulted.Agg.StepTime(), clean.Agg.StepTime())
+		}
+		if clean.Agg.Bytes != faulted.Agg.Bytes {
+			t.Errorf("%s: bytes %d with empty schedule, %d without", strat.Name(), faulted.Agg.Bytes, clean.Agg.Bytes)
+		}
+	}
+}

@@ -64,3 +64,28 @@ func TestDrainOverlapGolden(t *testing.T) {
 	}
 	checkGolden(t, "drainoverlap_np2048_seed3.golden", DrainOverlapTable(rows))
 }
+
+// TestFaultSweepGolden pins the survivability sweep byte for byte: the
+// sampled fault schedules, the retry/failover arithmetic, the fault-aware
+// strategy paths and the restart attempts all feed these numbers, so any
+// drift in them is a behavior change, not noise.
+func TestFaultSweepGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("np-2048 fault sweep in -short mode")
+	}
+	rows, err := FaultSweep(Options{Seed: 3, NPs: []int{2048}}, 2048, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "faultsweep_np2048_seed3.golden", FaultTable(rows))
+}
+
+// TestMakespanGolden pins the expected-makespan study (measured C and R
+// pushed through the Young/Daly model).
+func TestMakespanGolden(t *testing.T) {
+	rows, err := Makespan(Options{Seed: 3, NPs: []int{2048}}, 2048, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "makespan_np2048_seed3.golden", MakespanTable(rows))
+}

@@ -16,6 +16,10 @@ type Job struct {
 	Strategy ckpt.Strategy
 	WithLog  bool   // collect per-op records (costs memory at 64K)
 	FS       string // storage backend; "" defers to Options.FS (default gpfs)
+	// Faults, when set, arms a fault injector on the job's kernel before the
+	// world spawns. The job then reports a FaultOutcome in its Run; storage
+	// unavailability becomes a lost-checkpoint outcome instead of an error.
+	Faults *FaultSpec
 }
 
 // workers resolves the worker-pool size: the Parallel option, defaulting to

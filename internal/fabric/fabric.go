@@ -32,6 +32,7 @@ type Pipe struct {
 	nextFree float64
 	busy     float64 // cumulative seconds spent transmitting
 	bytes    int64   // cumulative bytes carried
+	degrade  float64 // bandwidth multiplier while degraded; 0 means healthy
 }
 
 // NewPipe returns a pipe with the given latency (s) and bandwidth (B/s).
@@ -42,6 +43,25 @@ func NewPipe(name string, latency, bw float64) *Pipe {
 	return &Pipe{Name: name, Latency: latency, BW: bw}
 }
 
+// SetDegrade scales the pipe's effective bandwidth by factor for future
+// transfers (fault injection: a flapping or half-duplex link). factor 0
+// restores full bandwidth; a healthy pipe's arithmetic is untouched, so
+// fault-free runs stay bit-identical.
+func (p *Pipe) SetDegrade(factor float64) {
+	if factor >= 1 {
+		factor = 0
+	}
+	p.degrade = factor
+}
+
+// bw returns the pipe's effective bandwidth under any active degradation.
+func (p *Pipe) bw() float64 {
+	if p.degrade > 0 {
+		return p.BW * p.degrade
+	}
+	return p.BW
+}
+
 // Transfer reserves the pipe for size bytes starting no earlier than now and
 // returns when the transfer begins and completes. The caller is responsible
 // for sleeping until end.
@@ -50,7 +70,7 @@ func (p *Pipe) Transfer(now float64, size int64) (start, end float64) {
 	if p.nextFree > start {
 		start = p.nextFree
 	}
-	dur := float64(size) / p.BW
+	dur := float64(size) / p.bw()
 	end = start + dur
 	p.nextFree = end
 	p.busy += dur
@@ -65,7 +85,7 @@ func (p *Pipe) Transfer(now float64, size int64) (start, end float64) {
 // next-free time.
 func (p *Pipe) TransferExpress(now float64, size int64) (start, end float64) {
 	start = now + p.Latency
-	dur := float64(size) / p.BW
+	dur := float64(size) / p.bw()
 	p.busy += dur
 	p.bytes += size
 	return start, start + dur

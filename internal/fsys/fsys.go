@@ -7,10 +7,32 @@
 package fsys
 
 import (
+	"errors"
+
 	"repro/internal/bgp"
 	"repro/internal/data"
 	"repro/internal/sim"
 )
+
+// Typed failures the storage models return under fault injection, defined
+// here so checkpoint strategies can classify errors without importing the
+// storage core. Backends wrap these with detail; match with errors.Is or
+// Unavailable.
+var (
+	// ErrServerDown reports that the file server owning the addressed
+	// stripe is down and no failover target survived.
+	ErrServerDown = errors.New("file server down")
+	// ErrTimeout reports that an operation exhausted its retry budget
+	// against unresponsive servers.
+	ErrTimeout = errors.New("storage operation timed out")
+)
+
+// Unavailable reports whether err is a fault-injection storage failure —
+// one a fault-aware checkpoint strategy should absorb into loss accounting
+// rather than abort the run over.
+func Unavailable(err error) bool {
+	return errors.Is(err, ErrServerDown) || errors.Is(err, ErrTimeout)
+}
 
 // System is a mounted parallel file system shared by the whole machine.
 type System interface {
@@ -52,7 +74,11 @@ type Handle interface {
 	// Sync blocks until the caller's outstanding write-behind commits are
 	// durable.
 	Sync(p *sim.Proc, rank int)
-	// Close syncs and releases the handle.
+	// Err returns the first asynchronous commit failure recorded on the
+	// handle (write-behind paths cannot return it from WriteAt), or nil.
+	Err() error
+	// Close syncs and releases the handle; like fsync, it also reports any
+	// recorded commit failure.
 	Close(p *sim.Proc, rank int) error
 	// Size returns the file's current size.
 	Size() int64

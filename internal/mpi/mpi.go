@@ -261,10 +261,11 @@ func (w *World) getWakeHook() *wakeHook {
 }
 
 type recvWant struct {
-	src  int // world rank or AnySource
-	tag  int
-	comm int
-	got  *message
+	src      int // world rank or AnySource
+	tag      int
+	comm     int
+	got      *message
+	timedOut bool // RecvTimeout's deadline fired before a match
 }
 
 func (m *message) matches(want *recvWant) bool {
@@ -500,6 +501,60 @@ func (c *Comm) Recv(r *Rank, src, tag int) (data.Buf, int) {
 	r.w.putMsg(got) // consumed: back to the pool before yielding
 	r.proc.Sleep(cfg.RecvOverhead + float64(buf.Len())/cfg.LocalCopyBW)
 	return buf, c.rankOfWorld(srcWorld)
+}
+
+// RecvTimeout is Recv with a deadline: it blocks until a matching message
+// arrives or timeout simulated seconds pass, whichever is first. ok reports
+// whether a message arrived; on timeout the posted receive is cancelled, so
+// a message that shows up later simply lands in the inbox for a future
+// receive to match (tags that encode the step keep strays harmless).
+// Fault-aware checkpoint protocols use it to detect dead peers without
+// deadlocking the group.
+func (c *Comm) RecvTimeout(r *Rank, src, tag int, timeout float64) (data.Buf, int, bool) {
+	if r.want != nil {
+		panic("mpi: rank has a receive already outstanding")
+	}
+	srcWorld := AnySource
+	if src != AnySource {
+		if src < 0 || src >= len(c.members) {
+			panic(fmt.Sprintf("mpi: RecvTimeout from rank %d of %d-rank comm", src, len(c.members)))
+		}
+		srcWorld = c.members[src]
+	}
+	want := &recvWant{src: srcWorld, tag: tag, comm: c.id}
+	var got *message
+	for i, m := range r.inbox {
+		if m.matches(want) {
+			got = m
+			r.inbox = append(r.inbox[:i], r.inbox[i+1:]...)
+			break
+		}
+	}
+	if got == nil {
+		r.want = want
+		r.w.K.After(timeout, func() {
+			// Only cancel if this exact receive is still posted: the pointer
+			// compare keeps a stale timer from touching a later receive.
+			if r.want == want {
+				r.want = nil
+				want.timedOut = true
+				r.proc.Unpark()
+			}
+		})
+		r.proc.Park()
+		if want.timedOut {
+			return data.Buf{}, -1, false
+		}
+		got = want.got
+		buf, srcWorld := got.buf, got.src
+		r.w.putMsg(got)
+		return buf, c.rankOfWorld(srcWorld), true
+	}
+	cfg := r.w.cfg
+	buf, srcWorld := got.buf, got.src
+	r.w.putMsg(got)
+	r.proc.Sleep(cfg.RecvOverhead + float64(buf.Len())/cfg.LocalCopyBW)
+	return buf, c.rankOfWorld(srcWorld), true
 }
 
 func (c *Comm) rankOfWorld(world int) int {

@@ -577,3 +577,77 @@ func TestIrecvBadSourcePanics(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRecvTimeoutExpires(t *testing.T) {
+	w := newWorld(t, 256)
+	err := w.Run(func(c *Comm, r *Rank) {
+		if r.ID() != 3 {
+			return
+		}
+		t0 := r.Now()
+		buf, src, ok := c.RecvTimeout(r, 0, 9, 0.75) // nobody ever sends
+		if ok {
+			t.Errorf("timed-out receive reported ok (src %d, %d bytes)", src, buf.Len())
+		}
+		if src != -1 || buf.Len() != 0 {
+			t.Errorf("timed-out receive returned src=%d len=%d, want -1/0", src, buf.Len())
+		}
+		if got := r.Now() - t0; got < 0.75 {
+			t.Errorf("timeout returned after %.3fs, want >= 0.75s", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTimeoutDeliveredInTime(t *testing.T) {
+	w := newWorld(t, 256)
+	err := w.Run(func(c *Comm, r *Rank) {
+		switch r.ID() {
+		case 0:
+			c.Send(r, 3, 9, data.Synthetic(2048))
+		case 3:
+			buf, src, ok := c.RecvTimeout(r, 0, 9, 5.0)
+			if !ok {
+				t.Error("receive timed out despite a prompt send")
+			}
+			if src != 0 || buf.Len() != 2048 {
+				t.Errorf("got src=%d len=%d, want 0/2048", src, buf.Len())
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecvTimeoutStaleTimerHarmless pins the pointer-compare cancellation: a
+// timer from a receive that completed must not cancel a later receive, and a
+// message that arrives after its window landed in the inbox, where the next
+// matching receive finds it.
+func TestRecvTimeoutStaleTimerHarmless(t *testing.T) {
+	w := newWorld(t, 256)
+	err := w.Run(func(c *Comm, r *Rank) {
+		switch r.ID() {
+		case 0:
+			c.Send(r, 3, 9, data.Synthetic(1024)) // arrives promptly
+			c.Send(r, 3, 11, data.Synthetic(512)) // tag 11 arrives while rank 3 sleeps
+		case 3:
+			if _, _, ok := c.RecvTimeout(r, 0, 9, 2.0); !ok {
+				t.Fatal("first receive should complete well inside its window")
+			}
+			// Sleep past the first receive's timer so it fires while no
+			// receive is posted, then receive the second message: the stale
+			// timer must not have disturbed anything.
+			r.Proc().Sleep(3.0)
+			buf, _, ok := c.RecvTimeout(r, 0, 11, 2.0)
+			if !ok || buf.Len() != 512 {
+				t.Errorf("second receive after a stale timer: ok=%v len=%d", ok, buf.Len())
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

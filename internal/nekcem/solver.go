@@ -43,6 +43,17 @@ type RunConfig struct {
 	// stepping (content mode verifies sizes/field names too). Checkpoints
 	// are written at steps >= 1, so zero means a fresh start.
 	RestartStep int64
+
+	// RankUp, when set, makes the checkpoint strategies fault-aware: a rank
+	// whose node is down at checkpoint entry contributes nothing, and
+	// rbIO groups re-elect around dead writers. Dead ranks still advance
+	// the solver loop (the machine's compute procs are untouched); their
+	// checkpoint I/O is what disappears.
+	RankUp func(worldRank int) bool
+	// PeerTimeout is how long a fault-aware rbIO writer waits on an
+	// unresponsive peer before declaring its chunk missing (default
+	// ckpt.DefaultPeerTimeout).
+	PeerTimeout float64
 }
 
 // RankCkpt is a rank's condensed view of the final checkpoint, retained for
@@ -67,6 +78,22 @@ type CkptAgg struct {
 	// and the slowest worker's total Isend hand-off time.
 	WorkerBytes  int64
 	MaxPerceived float64
+
+	// Fault outcome of the step. DeadRanks counts ranks whose node was down
+	// at checkpoint entry; SkippedRanks those that consequently wrote
+	// nothing (fault-aware strategies set both together); MissingChunks the
+	// group chunks an rbIO writer gave up waiting for; FailedRanks the
+	// ranks whose storage commits exhausted the retry budget.
+	DeadRanks     int
+	SkippedRanks  int
+	MissingChunks int
+	FailedRanks   int
+}
+
+// Lost reports whether the checkpoint step lost any state: some rank's data
+// never reached durable storage.
+func (a *CkptAgg) Lost() bool {
+	return a.DeadRanks > 0 || a.SkippedRanks > 0 || a.MissingChunks > 0 || a.FailedRanks > 0
 }
 
 // StepTime returns the checkpoint step's wall time (entry to durability),
@@ -129,7 +156,7 @@ func Run(w *mpi.World, fs fsys.System, cfg RunConfig) (*RunResult, error) {
 	}
 	np := w.Size()
 	res := &RunResult{PerRank: make([]RankCkpt, np)}
-	env := &ckpt.Env{FS: fs, Dir: cfg.Dir, Log: cfg.Log}
+	env := &ckpt.Env{FS: fs, Dir: cfg.Dir, Log: cfg.Log, RankUp: cfg.RankUp, PeerTimeout: cfg.PeerTimeout}
 	var firstErr error
 	fail := func(err error) {
 		if firstErr == nil {
@@ -222,10 +249,23 @@ func Run(w *mpi.World, fs fsys.System, cfg RunConfig) (*RunResult, error) {
 			p.Sleep(stepTime)
 			if cfg.CheckpointEvery > 0 && step%cfg.CheckpointEvery == 0 {
 				cp := st.Checkpoint()
+				up := cfg.RankUp == nil || cfg.RankUp(r.ID())
 				stats, err := plan.Write(env, r, cp)
 				if err != nil {
 					fail(err)
 					return
+				}
+				if cfg.RankUp != nil && (!up || !cfg.RankUp(r.ID())) {
+					// The rank's node was down at checkpoint entry, or died
+					// before the write finished (the second query runs at
+					// stats.End, the rank's current time): either way its
+					// state is not durably complete. This also covers
+					// strategies without a fault-aware path (coIO), whose
+					// dead ranks ghost through the collectives. The size of
+					// this window is each strategy's real exposure — a full
+					// write for 1PFPP/coIO, only the hand-off for rbIO
+					// workers.
+					stats.DeadRank = true
 				}
 				agg, ok := aggs[cp.Step]
 				if !ok {
@@ -255,6 +295,19 @@ func Run(w *mpi.World, fs fsys.System, cfg RunConfig) (*RunResult, error) {
 }
 
 func mergeStats(agg *CkptAgg, s ckpt.Stats) {
+	if s.DeadRank {
+		agg.DeadRanks++
+	}
+	if s.Failed {
+		agg.FailedRanks++
+	}
+	agg.MissingChunks += s.MissingChunks
+	if s.Skipped {
+		// A skipped rank reports Start == End == its entry time and no
+		// bytes; it must not stretch the step's timing envelope.
+		agg.SkippedRanks++
+		return
+	}
 	if s.Start < agg.Start {
 		agg.Start = s.Start
 	}

@@ -6,6 +6,7 @@ import "repro/internal/sim"
 type callWait struct {
 	remaining int
 	proc      *sim.Proc
+	err       error // first commit failure of the call
 }
 
 // BlockPipeline is the GPFS-style data path. Each file system block leaves
@@ -30,7 +31,7 @@ var _ DataPath = (*BlockPipeline)(nil)
 
 // Commit implements DataPath: schedules the per-block commits of
 // [off,off+n).
-func (d *BlockPipeline) Commit(c *Core, h *Handle, rank int, streamEnd float64, off, n int64) func(*sim.Proc) {
+func (d *BlockPipeline) Commit(c *Core, h *Handle, rank int, streamEnd float64, off, n int64) func(*sim.Proc) error {
 	client := c.m.PsetOfRank(rank)
 	ion := client
 	streamBase := streamEnd - float64(n)/c.cfg.ClientStreamBW
@@ -70,10 +71,40 @@ func (d *BlockPipeline) Commit(c *Core, h *Handle, rank int, streamEnd float64, 
 	commitBlock = func(i int) {
 		bl := blks[i]
 		span := bl.hi - bl.lo
-		srv := c.ServerFor(h.f, bl.b)
-		partial := span < c.cfg.BlockSize && (bl.lo%c.cfg.BlockSize != 0 || bl.hi%c.cfg.BlockSize != 0) && bl.hi < fileSize
 		k := c.m.K
-		ethEnd := c.m.Eth.Transfer(k.Now(), ion, span)
+		srv, fdelay, ferr := c.PlanServer(h.f, bl.b, k.Now())
+		// retire completes block i at time e, wakes drained waiters, and (on
+		// the cache-off path) launches the next block. Failed blocks retire
+		// through the same bookkeeping so Sync/Close never hang on them.
+		retire := func(e float64) {
+			c.ScheduleDrain(e)
+			k.At(e, func() {
+				cw.remaining--
+				h.DoneOutstanding(client)
+				if cw.remaining == 0 && cw.proc != nil {
+					cw.proc.Unpark()
+				}
+				if !d.WriteBehind && i+1 < len(blks) {
+					// No cache: the client may not stream the next block until
+					// this one is acknowledged, so the next departure is the
+					// ack plus that block's own stream serialization.
+					nb := blks[i+1]
+					next := c.m.K.Now() + float64(nb.hi-nb.lo)/c.cfg.ClientStreamBW
+					c.m.K.At(next, func() { commitBlock(i + 1) })
+				}
+			})
+		}
+		if ferr != nil {
+			// The block's servers are gone: the write-behind cache discards
+			// the block after the detection/retry delay and the handle
+			// remembers the loss for Sync/Close to surface.
+			cw.err = ferr
+			h.setCommitErr(ferr)
+			retire(k.Now() + fdelay)
+			return
+		}
+		partial := span < c.cfg.BlockSize && (bl.lo%c.cfg.BlockSize != 0 || bl.hi%c.cfg.BlockSize != 0) && bl.hi < fileSize
+		ethEnd := c.m.Eth.Transfer(k.Now()+fdelay, ion, span)
 		// A partial write inside an existing block forces the server to
 		// read-modify-write the whole file system block.
 		work := span
@@ -82,22 +113,7 @@ func (d *BlockPipeline) Commit(c *Core, h *Handle, rank int, streamEnd float64, 
 		}
 		_, e := srv.pipe.Transfer(ethEnd, work)
 		e += c.DrawSpike(srv, c.SpikeProb())
-		c.ScheduleDrain(e)
-		k.At(e, func() {
-			cw.remaining--
-			h.DoneOutstanding(client)
-			if cw.remaining == 0 && cw.proc != nil {
-				cw.proc.Unpark()
-			}
-			if !d.WriteBehind && i+1 < len(blks) {
-				// No cache: the client may not stream the next block until
-				// this one is acknowledged, so the next departure is the
-				// ack plus that block's own stream serialization.
-				nb := blks[i+1]
-				next := c.m.K.Now() + float64(nb.hi-nb.lo)/c.cfg.ClientStreamBW
-				c.m.K.At(next, func() { commitBlock(i + 1) })
-			}
-		})
+		retire(e)
 	}
 	if d.WriteBehind {
 		for i := range blks {
@@ -107,33 +123,44 @@ func (d *BlockPipeline) Commit(c *Core, h *Handle, rank int, streamEnd float64, 
 	} else if len(blks) > 0 {
 		c.m.K.At(blks[0].pace, func() { commitBlock(0) })
 	}
-	return func(p *sim.Proc) {
+	return func(p *sim.Proc) error {
 		// Return once the ION has the data; with write-behind, Sync/Close
 		// wait for the commits, otherwise the caller blocks here until
 		// every block of this call is durable.
 		p.SleepUntil(streamEnd)
-		if !d.WriteBehind && cw.remaining > 0 {
-			cw.proc = p
-			p.Park()
+		if !d.WriteBehind {
+			if cw.remaining > 0 {
+				cw.proc = p
+				p.Park()
+			}
+			return cw.err
 		}
+		return nil
 	}
 }
 
 // Read implements DataPath: the symmetric striped return path.
-func (d *BlockPipeline) Read(p *sim.Proc, c *Core, h *Handle, rank int, off, n int64) {
-	c.ChargeStripedRead(p, h.f, rank, off, n)
+func (d *BlockPipeline) Read(p *sim.Proc, c *Core, h *Handle, rank int, off, n int64) error {
+	return c.ChargeStripedRead(p, h.f, rank, off, n)
 }
 
 // ChargeStripedRead charges the request-down/data-back path of a striped
 // read: ship the request to the ION, fan out over the blocks' servers in
-// parallel, then return over the Ethernet and the pset funnel.
-func (c *Core) ChargeStripedRead(p *sim.Proc, f *File, rank int, off, n int64) {
+// parallel, then return over the Ethernet and the pset funnel. Under fault
+// injection a block on an unreachable server charges the detection/retry
+// delay and fails the read with a typed error.
+func (c *Core) ChargeStripedRead(p *sim.Proc, f *File, rank int, off, n int64) error {
 	c.ShipToION(p, rank, 256)
 	end := p.Now()
 	for b := off / c.cfg.BlockSize; b <= (off+n-1)/c.cfg.BlockSize; b++ {
 		bStart := b * c.cfg.BlockSize
 		lo, hi := max64(off, bStart), min64(off+n, bStart+c.cfg.BlockSize)
-		_, e := c.ServerFor(f, b).pipe.Transfer(p.Now(), hi-lo)
+		srv, fdelay, ferr := c.PlanServer(f, b, p.Now())
+		if ferr != nil {
+			p.SleepUntil(p.Now() + fdelay)
+			return ferr
+		}
+		_, e := srv.pipe.Transfer(p.Now()+fdelay, hi-lo)
 		if e > end {
 			end = e
 		}
@@ -141,6 +168,7 @@ func (c *Core) ChargeStripedRead(p *sim.Proc, f *File, rank int, off, n int64) {
 	end = c.m.Eth.Transfer(end, c.m.PsetOfRank(rank), n)
 	_, end2 := c.m.Tree.Pset(c.m.PsetOfRank(rank)).Transfer(end, n)
 	p.SleepUntil(end2)
+	return nil
 }
 
 // StripeSync is the PVFS-style data path: no client/ION cache, so every
@@ -154,11 +182,12 @@ type StripeSync struct{}
 var _ DataPath = StripeSync{}
 
 // Commit implements DataPath: the full synchronous striped commit.
-func (StripeSync) Commit(c *Core, h *Handle, rank int, streamEnd float64, off, n int64) func(*sim.Proc) {
+func (StripeSync) Commit(c *Core, h *Handle, rank int, streamEnd float64, off, n int64) func(*sim.Proc) error {
 	streamBase := streamEnd - float64(n)/c.cfg.ClientStreamBW
 	commitEnd := streamBase
 	spikeP := c.SpikeProb()
 	ion := c.m.PsetOfRank(rank)
+	var cerr error
 	var cum int64
 	ss := c.cfg.BlockSize
 	revolution := ss * int64(len(c.servers))
@@ -167,14 +196,24 @@ func (StripeSync) Commit(c *Core, h *Handle, rank int, streamEnd float64, off, n
 		span := hi - lo
 		cum += span
 		deliver := streamBase + float64(cum)/c.cfg.ClientStreamBW
-		ethEnd := c.m.Eth.Transfer(deliver, ion, span)
+		srv, fdelay, ferr := c.PlanServer(h.f, lo/ss, deliver)
+		if ferr != nil {
+			// Synchronous commit against dead servers: the caller perceives
+			// the detection/retry delay, then the write fails.
+			cerr = ferr
+			h.setCommitErr(ferr)
+			if deliver+fdelay > commitEnd {
+				commitEnd = deliver + fdelay
+			}
+			break
+		}
+		ethEnd := c.m.Eth.Transfer(deliver+fdelay, ion, span)
 		// The revolution touches up to NumServers servers; charge the
 		// busiest one (they carry span/NumServers each, in parallel).
 		perServer := span / int64(len(c.servers))
 		if perServer == 0 {
 			perServer = span
 		}
-		srv := c.ServerFor(h.f, lo/ss)
 		_, e := srv.pipe.Transfer(ethEnd, perServer)
 		e += c.DrawSpike(srv, spikeP)
 		if e > commitEnd {
@@ -184,16 +223,24 @@ func (StripeSync) Commit(c *Core, h *Handle, rank int, streamEnd float64, off, n
 	}
 	c.ScheduleDrain(commitEnd)
 	// Cache off: synchronous completion.
-	return func(p *sim.Proc) { p.SleepUntil(commitEnd) }
+	return func(p *sim.Proc) error {
+		p.SleepUntil(commitEnd)
+		return cerr
+	}
 }
 
 // Read implements DataPath: PVFS charges the request at the first stripe's
 // server with the stripes' shares served in parallel.
-func (StripeSync) Read(p *sim.Proc, c *Core, h *Handle, rank int, off, n int64) {
+func (StripeSync) Read(p *sim.Proc, c *Core, h *Handle, rank int, off, n int64) error {
 	c.ShipToION(p, rank, 256)
-	srv := c.ServerFor(h.f, off/c.cfg.BlockSize)
-	_, end := srv.pipe.Transfer(p.Now(), n/int64(len(c.servers))+1)
+	srv, fdelay, ferr := c.PlanServer(h.f, off/c.cfg.BlockSize, p.Now())
+	if ferr != nil {
+		p.SleepUntil(p.Now() + fdelay)
+		return ferr
+	}
+	_, end := srv.pipe.Transfer(p.Now()+fdelay, n/int64(len(c.servers))+1)
 	end = c.m.Eth.Transfer(end, c.m.PsetOfRank(rank), n)
 	_, end2 := c.m.Tree.Pset(c.m.PsetOfRank(rank)).Transfer(end, n)
 	p.SleepUntil(end2)
+	return nil
 }

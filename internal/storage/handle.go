@@ -22,6 +22,10 @@ type Handle struct {
 	total       int
 	syncWait    map[int][]*sim.Proc
 	closeWait   []*sim.Proc
+	// commitErr is the first write-behind commit failure recorded against
+	// the handle: fire-and-forget paths cannot return it from WriteAt, so
+	// Close (and Err) surface it — the fsync-reports-the-loss model.
+	commitErr error
 }
 
 var _ interface {
@@ -49,6 +53,16 @@ func (h *Handle) AddOutstanding(client int) {
 	h.outstanding[client]++
 	h.total++
 }
+
+// setCommitErr records the first asynchronous commit failure on the handle.
+func (h *Handle) setCommitErr(err error) {
+	if h.commitErr == nil {
+		h.commitErr = err
+	}
+}
+
+// Err returns the first commit failure recorded on the handle, if any.
+func (h *Handle) Err() error { return h.commitErr }
 
 // DoneOutstanding retires one commit and wakes any drained waiters.
 func (h *Handle) DoneOutstanding(client int) {
@@ -104,8 +118,7 @@ func (h *Handle) WriteAt(p *sim.Proc, rank int, off int64, buf data.Buf) error {
 	h.f.store.Write(off, buf)
 	c.Stats.BytesWritten += buf.Len()
 
-	wait(p)
-	return nil
+	return wait(p)
 }
 
 // ReadAt reads n bytes at offset off, charging the data path's return path.
@@ -118,7 +131,9 @@ func (h *Handle) ReadAt(p *sim.Proc, rank int, off, n int64) (data.Buf, error) {
 	if off+n > h.f.store.Size() {
 		return data.Buf{}, fmt.Errorf("%s: read [%d,%d) beyond EOF %d of %s", h.c.name, off, off+n, h.f.store.Size(), h.f.name)
 	}
-	h.c.path.Read(p, h.c, h, rank, off, n)
+	if err := h.c.path.Read(p, h.c, h, rank, off, n); err != nil {
+		return data.Buf{}, err
+	}
 	h.c.Stats.BytesRead += n
 	return h.f.store.Read(off, n), nil
 }
@@ -148,7 +163,9 @@ func (h *Handle) Close(p *sim.Proc, rank int) error {
 	h.c.meta.Close(p, h.c, h.f.name)
 	h.closed = true
 	h.c.Stats.Closes++
-	return nil
+	// Surface any asynchronous commit loss the way fsync/close would: the
+	// file is released, but the caller learns its data did not all land.
+	return h.commitErr
 }
 
 // Size returns the file's current size.

@@ -41,6 +41,7 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/data"
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/fsys"
 	"repro/internal/sim"
 	"repro/internal/xrand"
@@ -145,11 +146,13 @@ type Concurrency interface {
 // DataPath is the write-path caching policy. Commit schedules the
 // storage-side commits of a write whose client stream finishes delivering at
 // streamEnd and returns the wait that charges the caller's perceived
-// blocking (called by the core after the payload is recorded). Read charges
-// the server->ION->compute-node return path of a read.
+// blocking (called by the core after the payload is recorded); the wait's
+// error is a typed server-unavailability failure for synchronous paths
+// (write-behind paths record it on the handle for Close to surface). Read
+// charges the server->ION->compute-node return path of a read.
 type DataPath interface {
-	Commit(c *Core, h *Handle, rank int, streamEnd float64, off, n int64) func(p *sim.Proc)
-	Read(p *sim.Proc, c *Core, h *Handle, rank int, off, n int64)
+	Commit(c *Core, h *Handle, rank int, streamEnd float64, off, n int64) func(p *sim.Proc) error
+	Read(p *sim.Proc, c *Core, h *Handle, rank int, off, n int64) error
 }
 
 // Core is one mounted file system model: the shared mechanism plus the
@@ -166,6 +169,12 @@ type Core struct {
 
 	servers []*Server
 	mdsRNG  *xrand.RNG
+
+	// Fault injection, attached by EnableFaults; nil faults means every
+	// PlanServer query short-circuits to the home server untouched.
+	faults *fault.Injector
+	fpol   FaultPolicy
+	frng   *xrand.RNG
 
 	files      map[string]*File
 	dirEntries map[string]int
@@ -194,6 +203,12 @@ type Stats struct {
 	BytesRead     int64
 	NoiseSpikes   int
 	NoiseSpikeSum float64 // total injected delay, seconds
+
+	// Fault-handling activity (all zero in a fault-free run).
+	Retries      int     // unresponsive-server probe attempts
+	Failovers    int     // blocks redirected to a surviving server
+	CommitErrors int     // operations that exhausted the retry budget
+	FaultDelay   float64 // total detection/backoff time charged, seconds
 }
 
 // Server is one striped file server: a FIFO pipe plus its own noise stream.

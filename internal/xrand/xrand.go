@@ -77,6 +77,17 @@ func (r *RNG) Exp(mean float64) float64 {
 	return -mean * math.Log(u)
 }
 
+// Weibull returns a Weibull(scale, shape) distributed value via inversion:
+// scale * (-ln U)^(1/shape). shape 1 degenerates to Exp(scale); shape > 1
+// models wear-out (hazard rising with age), shape < 1 infant mortality.
+func (r *RNG) Weibull(scale, shape float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return scale * math.Pow(-math.Log(u), 1/shape)
+}
+
 // Normal returns a normally distributed value via Box-Muller.
 func (r *RNG) Normal(mu, sigma float64) float64 {
 	u1 := r.Float64()
