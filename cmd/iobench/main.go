@@ -6,340 +6,145 @@
 // Usage:
 //
 //	iobench                  # everything at paper scale (slow: ~30-60 min)
-//	iobench -exp fig5        # one experiment (fig5..fig12, table1, eq1, eq7, meshread, ablations)
+//	iobench -exp fig5        # one experiment (iobench -exp list for the set)
+//	iobench -exp list        # list experiments with their descriptions
 //	iobench -np 4096         # scaled-down sweep for a quick look
 //	iobench -quiet           # disable the shared-storage noise model
 //	iobench -seed 7          # different reproducible noise sample
 //	iobench -fs bbuf         # run the checkpoint experiments on another backend
+//	iobench -trace out.json  # emit a Chrome/Perfetto trace of every run
+//	iobench -metrics         # print per-layer simulated-time and span tables
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/fsys"
 	"repro/internal/perf"
 )
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment to run: all, "+strings.Join(expNames, ", "))
-		np       = flag.Int("np", 0, "override the processor sweep with a single count (0 = paper scale 16K/32K/64K)")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		quiet    = flag.Bool("quiet", false, "disable the shared-storage noise model")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "experiment worker-pool size (1 = serial); results are identical at any setting")
-		fsName   = flag.String("fs", "gpfs", "storage backend for checkpoint experiments: gpfs, pvfs, bbuf (fscompare, drainoverlap and the GPFS-knob ablations/priorwork pick their own backends)")
-		mtbf     = flag.Float64("mtbf", 6, "per-component MTBF in hours for the fault experiments (faultsweep, makespan)")
+		which     = flag.String("exp", "all", "experiment to run (list = print the registry)")
+		np        = flag.Int("np", 0, "override the processor sweep with a single count (0 = paper scale 16K/32K/64K)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		quiet     = flag.Bool("quiet", false, "disable the shared-storage noise model")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "experiment worker-pool size (1 = serial); results are identical at any setting")
+		fsName    = flag.String("fs", "gpfs", "storage backend for checkpoint experiments: gpfs, pvfs, bbuf (fscompare, drainoverlap and the GPFS-knob ablations/priorwork pick their own backends)")
+		mtbf      = flag.Float64("mtbf", 6, "per-component MTBF in hours for the fault experiments (faultsweep, makespan)")
+		traceOut  = flag.String("trace", "", "write a Chrome/Perfetto trace_event JSON of every simulation run to this file (load at ui.perfetto.dev)")
+		metrics   = flag.Bool("metrics", false, "print per-run aggregated metrics (per-layer simulated time, counters, span stats)")
+		traceEvts = flag.Int("trace-events", 0, "per-run retained trace event cap (0 = default 1M; aggregates keep counting past the cap)")
 	)
 	flag.Parse()
 	perf.TuneGC()
 
-	if !exp.KnownFS(*fsName) {
-		fmt.Fprintf(os.Stderr, "unknown file system %q (valid: %s)\n", *fsName, strings.Join(exp.FileSystems, ", "))
-		os.Exit(2)
-	}
-	if !knownExp(*which) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: all, %s)\n", *which, strings.Join(expNames, ", "))
-		os.Exit(2)
+	if *which == "list" {
+		listExperiments()
+		return
 	}
 
-	o := exp.Options{Seed: *seed, Quiet: *quiet, Parallel: *parallel, FS: *fsName}
-	if *np > 0 {
-		o.NPs = []int{*np}
+	backend, err := fsys.Lookup(*fsName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-
-	// run executes fn when -exp selects it: by its own name, "all", or any
-	// alias (the headline runs serve fig5, fig6 and fig7).
-	run := func(name string, fn func() error, aliases ...string) {
-		match := *which == "all" || *which == name
-		for _, a := range aliases {
-			match = match || *which == a
+	if _, ok := exp.LookupExperiment(*which); !ok && *which != "all" {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: all, list", *which)
+		for _, d := range exp.Experiments() {
+			fmt.Fprintf(os.Stderr, ", %s", d.Name)
 		}
-		if !match {
-			return
+		fmt.Fprintln(os.Stderr, ")")
+		os.Exit(2)
+	}
+
+	opts := []exp.Option{
+		exp.Seed(*seed),
+		exp.Backend(backend),
+		exp.Parallel(*parallel),
+	}
+	if *quiet {
+		opts = append(opts, exp.Quiet())
+	}
+	if *np > 0 {
+		opts = append(opts, exp.NPs(*np))
+	}
+	var tc *exp.TraceCollector
+	if *traceOut != "" || *metrics {
+		tc = &exp.TraceCollector{MaxEvents: *traceEvts}
+		opts = append(opts, exp.Trace(tc))
+	}
+	o := exp.New(opts...)
+
+	s := exp.NewSession(o, os.Stdout)
+	s.MTBF = *mtbf
+	for _, d := range exp.Experiments() {
+		if *which != "all" && !selects(d, *which) {
+			continue
 		}
 		t0 := time.Now()
-		fmt.Printf("== %s ==\n", name)
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		fmt.Printf("== %s ==\n", d.Name)
+		if err := d.Run(s); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", d.Name, err)
 			os.Exit(1)
 		}
 		fmt.Printf("(%s wall)\n\n", time.Since(t0).Round(time.Millisecond))
 	}
 
-	// Figures 5-7 share the headline runs.
-	var headline []exp.HeadlineRow
-	needHeadline := *which == "all" || *which == "fig5" || *which == "fig6" || *which == "fig7"
-	if needHeadline {
-		run("headline (figs 5-7)", func() error {
-			var err error
-			headline, err = exp.Headline(o)
-			return err
-		}, "fig5", "fig6", "fig7")
-	}
-	if headline != nil {
-		if *which == "all" || *which == "fig5" {
-			fmt.Println("== Figure 5: write bandwidth ==")
-			fmt.Println(exp.Fig5Table(headline))
-		}
-		if *which == "all" || *which == "fig6" {
-			fmt.Println("== Figure 6: overall time per checkpoint step ==")
-			fmt.Println(exp.Fig6Table(headline))
-		}
-		if *which == "all" || *which == "fig7" {
-			fmt.Println("== Figure 7: checkpoint/computation ratio ==")
-			fmt.Println(exp.Fig7Table(headline))
+	if *metrics && tc != nil {
+		for _, m := range tc.Metrics() {
+			fmt.Printf("%s\n", m.Table())
 		}
 	}
-
-	run("fig8", func() error {
-		rows, err := exp.Fig8(o)
-		if err != nil {
-			return err
+	if *traceOut != "" && tc != nil {
+		if err := writeTrace(tc, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
 		}
-		fmt.Println("== Figure 8: rbIO bandwidth vs number of files ==")
-		fmt.Println(exp.Fig8Table(rows))
-		return nil
-	})
-
-	run("fig9", func() error {
-		d, err := exp.Fig9(o)
-		if err != nil {
-			return err
-		}
-		fmt.Println("== Figure 9: per-rank I/O time distribution, 1PFPP ==")
-		fmt.Println(d.Table())
-		fmt.Println(d.Plot())
-		return nil
-	})
-	run("fig10", func() error {
-		d, err := exp.Fig10(o)
-		if err != nil {
-			return err
-		}
-		fmt.Println("== Figure 10: per-rank I/O time distribution, coIO 64:1 ==")
-		fmt.Println(d.Table())
-		fmt.Println(d.Plot())
-		return nil
-	})
-	run("fig11", func() error {
-		d, err := exp.Fig11(o)
-		if err != nil {
-			return err
-		}
-		fmt.Println("== Figure 11: per-rank I/O time distribution, rbIO ==")
-		fmt.Println(d.Table())
-		fmt.Println(d.Plot())
-		return nil
-	})
-	run("fig12", func() error {
-		rows, err := exp.Fig12(o)
-		if err != nil {
-			return err
-		}
-		fmt.Println("== Figure 12: write activity, rbIO vs coIO ==")
-		fmt.Println(exp.Fig12Table(rows))
-		return nil
-	})
-
-	run("table1", func() error {
-		rows, err := exp.TableI(o)
-		if err != nil {
-			return err
-		}
-		fmt.Println("== Table I: perceived write performance (rbIO) ==")
-		fmt.Println(exp.TableITable(rows))
-		return nil
-	})
-
-	run("eq1", func() error {
-		np16 := 16384
-		if len(o.NPs) == 1 {
-			np16 = o.NPs[0]
-		}
-		res, err := exp.Eq1(o, np16, 20)
-		if err != nil {
-			return err
-		}
-		fmt.Println("== Equation 1: production improvement, rbIO over 1PFPP ==")
-		fmt.Println(res.Table())
-		return nil
-	})
-
-	run("eq7", func() error {
-		np16 := 16384
-		if len(o.NPs) == 1 {
-			np16 = o.NPs[0]
-		}
-		res, err := exp.Speedup(o, np16)
-		if err != nil {
-			return err
-		}
-		fmt.Println("== Equations 2-7: blocked-time speedup, rbIO over coIO ==")
-		fmt.Println(res.Table())
-		return nil
-	})
-
-	run("meshread", func() error {
-		cases := []exp.MeshReadRow{}
-		if len(o.NPs) == 1 {
-			cases = append(cases,
-				exp.MeshReadRow{E: 136 * 1024, NP: o.NPs[0]},
-				exp.MeshReadRow{E: 546 * 1024, NP: o.NPs[0]})
-		}
-		rows, err := exp.MeshRead(o, cases...)
-		if err != nil {
-			return err
-		}
-		fmt.Println("== Section III-B: global mesh read (presetup) ==")
-		fmt.Println(exp.MeshReadTable(rows))
-		return nil
-	})
-
-	run("fscompare", func() error {
-		np16 := 16384
-		if len(o.NPs) == 1 {
-			np16 = o.NPs[0]
-		}
-		rows, err := exp.FSComparison(o, np16)
-		if err != nil {
-			return err
-		}
-		fmt.Println("== Extension: GPFS vs PVFS (Section V-C1's unpublished comparison) ==")
-		fmt.Println(exp.FSComparisonTable(rows))
-		return nil
-	})
-
-	run("drainoverlap", func() error {
-		np16 := 16384
-		if len(o.NPs) == 1 {
-			np16 = o.NPs[0]
-		}
-		rows, err := exp.DrainOverlap(o, np16)
-		if err != nil {
-			return err
-		}
-		fmt.Println("== Extension: rbIO commit overlap, GPFS write-behind vs ION burst buffer ==")
-		fmt.Println(exp.DrainOverlapTable(rows))
-		return nil
-	})
-
-	run("priorwork", func() error {
-		rows, err := exp.PriorWorkBGL(o)
-		if err != nil {
-			return err
-		}
-		fmt.Println("== Extension: prior work [3] — rbIO on 32K Blue Gene/L ==")
-		fmt.Println(exp.PriorWorkTable(rows))
-		return nil
-	})
-
-	run("restart", func() error {
-		np16 := 16384
-		if len(o.NPs) == 1 {
-			np16 = o.NPs[0]
-		}
-		rows, err := exp.RestartStudy(o, np16)
-		if err != nil {
-			return err
-		}
-		fmt.Println("== Extension: restart (read-side) performance ==")
-		fmt.Println(exp.RestartTable(rows))
-		return nil
-	})
-
-	run("multilevel", func() error {
-		np16 := 16384
-		if len(o.NPs) == 1 {
-			np16 = o.NPs[0]
-		}
-		rows, err := exp.MultiLevelStudy(o, np16)
-		if err != nil {
-			return err
-		}
-		fmt.Println("== Extension: SCR-style multi-level checkpointing ==")
-		fmt.Println(exp.MultiLevelTable(rows))
-		return nil
-	})
-
-	run("faultsweep", func() error {
-		np2 := 2048
-		if len(o.NPs) == 1 {
-			np2 = o.NPs[0]
-		}
-		rows, err := exp.FaultSweep(o, np2, *mtbf)
-		if err != nil {
-			return err
-		}
-		fmt.Println("== Extension: checkpoint survivability under injected faults ==")
-		fmt.Println(exp.FaultTable(rows))
-		return nil
-	})
-
-	run("makespan", func() error {
-		np2 := 2048
-		if len(o.NPs) == 1 {
-			np2 = o.NPs[0]
-		}
-		rows, err := exp.Makespan(o, np2, *mtbf)
-		if err != nil {
-			return err
-		}
-		fmt.Println("== Extension: expected makespan (Daly model on measured C and R) ==")
-		fmt.Println(exp.MakespanTable(rows))
-		return nil
-	})
-
-	run("ablations", func() error {
-		np16, np64 := 16384, 65536
-		if len(o.NPs) == 1 {
-			np16, np64 = o.NPs[0], o.NPs[0]
-		}
-		var all []exp.AblationRow
-		for _, f := range []func() ([]exp.AblationRow, error){
-			func() ([]exp.AblationRow, error) { return exp.AblateAlignment(o, np16) },
-			func() ([]exp.AblationRow, error) { return exp.AblateWriterBuffer(o, np16) },
-			func() ([]exp.AblationRow, error) { return exp.AblateGroupRatio(o, np16) },
-			func() ([]exp.AblationRow, error) { return exp.AblateIONCache(o, np16) },
-			func() ([]exp.AblationRow, error) { return exp.AblateNoise(o, np64) },
-			func() ([]exp.AblationRow, error) { return exp.AblateBlockSize(o, np16) },
-		} {
-			rows, err := f()
-			if err != nil {
-				return err
-			}
-			all = append(all, rows...)
-		}
-		fmt.Println("== Design-choice ablations ==")
-		fmt.Println(exp.AblationTable(all))
-		return nil
-	})
-
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (load at ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+	}
 }
 
-// expNames is the single registry of experiment names: the -exp flag is
-// validated against it up front (like -fs), so a typo exits 2 with the valid
-// set before any simulation starts.
-var expNames = []string{
-	"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-	"table1", "eq1", "eq7", "meshread", "fscompare", "drainoverlap",
-	"priorwork", "restart", "multilevel", "faultsweep", "makespan",
-	"ablations",
-}
-
-// knownExp reports whether name selects an experiment ("all" included).
-func knownExp(name string) bool {
-	if name == "all" {
+// selects reports whether name picks descriptor d (by name or alias).
+func selects(d exp.Descriptor, name string) bool {
+	if d.Name == name {
 		return true
 	}
-	for _, k := range expNames {
-		if name == k {
+	for _, a := range d.Aliases {
+		if a == name {
 			return true
 		}
 	}
 	return false
+}
+
+func listExperiments() {
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintln(w, "experiments (iobench -exp <name>):")
+	for _, d := range exp.Experiments() {
+		flags := ""
+		if d.Flags != "" {
+			flags = "  [" + d.Flags + "]"
+		}
+		fmt.Fprintf(w, "  %-14s %s%s\n", d.Name, d.Doc, flags)
+	}
+}
+
+func writeTrace(tc *exp.TraceCollector, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tc.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,12 +1,15 @@
 // Command iolog analyzes a Darshan-style I/O trace written by cmd/nekcem
 // (-log): aggregate statistics, the per-rank time distribution (Figures
-// 9-11 of the paper) and the write-activity timeline (Figure 12).
+// 9-11 of the paper) and the write-activity timeline (Figure 12). With
+// -metrics it instead reads a simulation trace written by `iobench -trace`
+// and prints each run's aggregated per-layer metrics tables.
 //
 // Usage:
 //
 //	nekcem -np 4096 -strategy rbio -log trace.json
 //	iolog trace.json
 //	iolog -ranks 4096 -dt 0.25 trace.json
+//	iobench -exp fig5 -trace sim.json && iolog -metrics sim.json
 package main
 
 import (
@@ -17,12 +20,14 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/iolog"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		ranks = flag.Int("ranks", 0, "rank count for the distribution (0: infer from the trace)")
-		dt    = flag.Float64("dt", 0.5, "activity timeline bin width in seconds")
+		ranks   = flag.Int("ranks", 0, "rank count for the distribution (0: infer from the trace)")
+		dt      = flag.Float64("dt", 0.5, "activity timeline bin width in seconds")
+		metrics = flag.Bool("metrics", false, "treat the argument as an iobench -trace file and print its per-run metrics tables")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -33,6 +38,22 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *metrics {
+		tf, err := trace.ReadFile(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(tf.Metrics) == 0 {
+			fmt.Fprintln(os.Stderr, "iolog: no metrics in trace (written by an older iobench?)")
+			os.Exit(1)
+		}
+		for _, m := range tf.Metrics {
+			fmt.Printf("%s\n", m.Table())
+		}
+		return
 	}
 	log, err := iolog.ReadJSON(f)
 	f.Close()

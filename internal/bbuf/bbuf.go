@@ -184,6 +184,16 @@ func MustNew(m *bgp.Machine, cfg Config) *FileSystem {
 // Config returns the mounted configuration.
 func (fs *FileSystem) Config() Config { return fs.cfg }
 
+func init() {
+	fsys.Register("bbuf", func(m *bgp.Machine, opt fsys.MountOptions) (fsys.System, error) {
+		cfg := DefaultConfig()
+		if opt.Quiet {
+			cfg.NoiseProb = 0
+		}
+		return New(m, cfg)
+	})
+}
+
 // EnableFaults attaches the fault injector to the shared storage core and
 // subscribes the buffer tier to ION life-cycle events: a dead ION loses its
 // buffered (and in-flight-drain) bytes, its pset's writes spill to the
@@ -262,6 +272,12 @@ func (d *burstPath) init(c *storage.Core) {
 		d.absorb[i] = fabric.NewPipe(fmt.Sprintf("bb/ion%d", i), 0, d.cfg.BufferBW)
 		d.drain[i] = fabric.NewPipe(fmt.Sprintf("bbdrain/ion%d", i), 0, d.cfg.DrainBW)
 	}
+	if rec, layer := c.Recorder(); rec != nil {
+		for i := 0; i < n; i++ {
+			d.absorb[i].Instrument(rec, layer, "bb.absorb", i)
+			d.drain[i].Instrument(rec, layer, "bb.drain", i)
+		}
+	}
 }
 
 // ionDown loses the ION's buffer: everything absorbed but not yet drained —
@@ -287,6 +303,9 @@ func (d *burstPath) Commit(c *storage.Core, h *storage.Handle, rank int, streamE
 		// Full buffer — or a dead ION under fault injection, which degrades
 		// its whole pset to the synchronous path until it restores.
 		d.stats.SpilledBytes += n
+		if rec, layer := c.Recorder(); rec != nil {
+			rec.Instant(layer, "bb.spill", ion, streamEnd)
+		}
 		return storage.StripeSync{}.Commit(c, h, rank, streamEnd, off, n)
 	}
 	d.used[ion] += n

@@ -15,6 +15,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
@@ -112,7 +113,7 @@ func New(k *sim.Kernel, rng *xrand.RNG, cfg Config) (*Machine, error) {
 	nodes := cfg.Ranks / cfg.RanksPerNode
 	psets := (nodes + cfg.NodesPerPset - 1) / cfg.NodesPerPset
 	t := topo.Dims(nodes)
-	return &Machine{
+	m := &Machine{
 		Cfg:      cfg,
 		K:        k,
 		RNG:      rng,
@@ -122,7 +123,19 @@ func New(k *sim.Kernel, rng *xrand.RNG, cfg Config) (*Machine, error) {
 		Eth:      fabric.NewEthernet(psets, cfg.Eth),
 		numNodes: nodes,
 		numPsets: psets,
-	}, nil
+	}
+	if rec := k.Recorder(); rec != nil {
+		// Attach the kernel's recorder before the machine is used, so every
+		// fabric transfer of the run is captured. SetRecorder must therefore
+		// precede New — exp.runCheckpoint does this.
+		m.Torus.Instrument(rec)
+		for i := 0; i < psets; i++ {
+			m.Tree.Pset(i).Instrument(rec, trace.LayerFabric, "ion.funnel", i)
+			m.Eth.NIC(i).Instrument(rec, trace.LayerFabric, "eth.nic", i)
+		}
+		m.Eth.Core().Instrument(rec, trace.LayerFabric, "eth.core", 0)
+	}
+	return m, nil
 }
 
 // MustNew is New, panicking on configuration errors. Intended for tests and

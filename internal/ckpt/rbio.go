@@ -10,6 +10,7 @@ import (
 	"repro/internal/iolog"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
+	"repro/internal/trace"
 )
 
 // RbIO is the paper's reduced-blocking I/O strategy. Ranks are divided into
@@ -175,11 +176,15 @@ func (pl *rbPlan) writeWorkerTo(env *Env, r *mpi.Rank, cp *Checkpoint, writer in
 		p.Sleep(d)
 		perceived += d
 	}
+	rec := p.Kernel().Recorder()
 	for fi, f := range cp.Fields {
 		t0 := r.Now()
 		req := pl.group.Isend(r, writer, fieldTag(cp.Step, fi), f.Data)
 		req.Wait(p)
 		perceived += req.LocalTime()
+		if rec != nil {
+			rec.Span(trace.LayerCkpt, "rbio.handoff", r.ID(), t0, r.Now(), f.Data.Len())
+		}
 		env.log(r.ID(), iolog.OpSend, t0, r.Now(), f.Data.Len())
 	}
 	end := r.Now()
@@ -282,11 +287,15 @@ func (pl *rbPlan) writeWorker(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, err
 	p := r.Proc()
 	start := r.Now()
 	perceived := 0.0
+	rec := p.Kernel().Recorder()
 	for fi, f := range cp.Fields {
 		t0 := r.Now()
 		req := pl.group.Isend(r, 0, fieldTag(cp.Step, fi), f.Data)
 		req.Wait(p) // completes at local hand-off, microseconds
 		perceived += req.LocalTime()
+		if rec != nil {
+			rec.Span(trace.LayerCkpt, "rbio.handoff", r.ID(), t0, r.Now(), f.Data.Len())
+		}
 		env.log(r.ID(), iolog.OpSend, t0, r.Now(), f.Data.Len())
 	}
 	end := r.Now()

@@ -52,7 +52,7 @@ func DrainOverlap(o Options, np int) ([]DrainRow, error) {
 			gbps = GB(float64(a.Bytes) / span)
 		}
 		rows[i] = DrainRow{
-			FS:           jobs[i].FS,
+			FS:           string(jobs[i].FS),
 			NP:           np,
 			WriterSec:    a.MaxWriter,
 			StepSec:      a.StepTime(),

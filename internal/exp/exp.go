@@ -23,10 +23,12 @@ import (
 	"repro/internal/mpiio"
 	"repro/internal/nekcem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
-// Options configure an experiment run.
+// Options configure an experiment run. Zero values mean "default"; the
+// single place defaults are resolved is normalize (options.go).
 type Options struct {
 	Seed uint64
 	// NPs are the processor counts to sweep. Defaults to the paper's
@@ -39,30 +41,21 @@ type Options struct {
 	// "gpfs" (the default, also chosen by ""), "pvfs", or "bbuf". Experiments
 	// that sweep GPFS-specific knobs (the ablations, prior work) always use
 	// gpfs regardless.
-	FS string
+	FS fsys.Backend
 	// Parallel is the worker-pool size for experiment sets (RunSet/RunAll):
 	// 0 means one worker per CPU, 1 forces serial execution. Simulations are
 	// deterministic per-run, so the worker count changes wall-clock time
 	// only, never results.
 	Parallel int
+	// Trace, when set, attaches a fresh trace.Recorder to every simulation
+	// kernel the experiment builds and collects one entry per run. Tracing
+	// never perturbs simulated time: results are byte-identical with and
+	// without it.
+	Trace *TraceCollector
 }
 
 // PaperNPs are the paper's weak-scaling processor counts.
 var PaperNPs = []int{16384, 32768, 65536}
-
-func (o Options) nps() []int {
-	if len(o.NPs) > 0 {
-		return o.NPs
-	}
-	return PaperNPs
-}
-
-func (o Options) seed() uint64 {
-	if o.Seed != 0 {
-		return o.Seed
-	}
-	return 1
-}
 
 // Approaches returns the paper's five headline configurations (Figure 5's
 // legend) for a given processor count.
@@ -107,17 +100,24 @@ type Run struct {
 // (they cost memory at 64K).
 func runCheckpoint(o Options, j Job) (*Run, error) {
 	np := j.NP
-	fsName := j.FS
-	if fsName == "" {
-		fsName = o.FS
+	backend := j.FS
+	if backend == "" {
+		backend = o.FS
 	}
 	k := sim.NewKernel()
+	var rec *trace.Recorder
+	if o.Trace != nil {
+		// Attached before any component is built, so every fabric pipe and
+		// storage server instruments itself at construction.
+		rec = o.Trace.newRecorder()
+		k.SetRecorder(rec)
+	}
 	rng := xrand.New(o.seed() ^ uint64(np)*0x9e37)
 	m, err := bgp.New(k, rng, bgp.Intrepid(np))
 	if err != nil {
 		return nil, err
 	}
-	fs, stats, err := buildFS(o, m, fsName)
+	fs, stats, err := buildFS(o, m, backend)
 	if err != nil {
 		return nil, err
 	}
@@ -149,12 +149,30 @@ func runCheckpoint(o Options, j Job) (*Run, error) {
 	if inj != nil {
 		rcfg.RankUp = func(rank int) bool { return inj.Up(fault.Node, m.NodeOfRank(rank)) }
 	}
+	// collect hands the run's recorder to the collector once the simulation
+	// is over, whatever its outcome (aggregates survive even if the event
+	// buffer overflowed).
+	collect := func() {
+		if rec == nil {
+			return
+		}
+		rec.Add(trace.LayerKernel, "kernel.events", int64(k.Events()))
+		rec.Add(trace.LayerKernel, "kernel.dispatched", int64(k.Dispatched()))
+		rec.Add(trace.LayerKernel, "kernel.woken", int64(k.Woken()))
+		o.Trace.add(TraceEntry{
+			Label:    fmt.Sprintf("%s/%s", fs.Name(), j.Strategy.Name()),
+			NP:       np,
+			Makespan: k.Now(),
+			Rec:      rec,
+		})
+	}
 	res, err := nekcem.Run(w, fs, rcfg)
 	if err != nil {
 		if j.Faults != nil && fsys.Unavailable(err) {
 			// A strategy without a fault-aware path hit dead storage
 			// mid-collective: the checkpoint is lost, but the trial itself
 			// succeeded at measuring that.
+			collect()
 			return &Run{NP: np, FSStats: *stats, Events: k.Events(), Fault: &FaultOutcome{
 				Lost: true, WriteError: err.Error(), Counts: inj.Counts(),
 			}}, nil
@@ -182,6 +200,7 @@ func runCheckpoint(o Options, j Job) (*Run, error) {
 		r.Fault = faultOutcome(o, j, m, fs, r, inj)
 		r.Events = k.Events()
 	}
+	collect()
 	return r, nil
 }
 

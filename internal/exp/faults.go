@@ -190,10 +190,7 @@ func FaultSweepN(o Options, np int, mtbfHours float64, trials int) ([]FaultRow, 
 	if err != nil {
 		return nil, err
 	}
-	fsName := o.FS
-	if fsName == "" {
-		fsName = "gpfs"
-	}
+	fsName := string(o.normalize().FS)
 	var rows []FaultRow
 	i := 0
 	for si := range strategies {

@@ -2,70 +2,41 @@ package exp
 
 import (
 	"fmt"
-	"strings"
 
-	"repro/internal/bbuf"
 	"repro/internal/bgp"
 	"repro/internal/fsys"
-	"repro/internal/gpfs"
-	"repro/internal/pvfs"
 	"repro/internal/storage"
+
+	// Backends self-register with the fsys registry from their package
+	// inits; these imports are what make them mountable here.
+	_ "repro/internal/bbuf"
+	_ "repro/internal/gpfs"
+	_ "repro/internal/pvfs"
 )
 
 // FileSystems lists the selectable storage backends, in presentation order.
 // Every backend is a policy composition over the shared storage core
 // (internal/storage), so each experiment runs unchanged on any of them.
-var FileSystems = []string{"gpfs", "pvfs", "bbuf"}
+var FileSystems = []fsys.Backend{"gpfs", "pvfs", "bbuf"}
 
 // KnownFS reports whether name selects a backend. The empty string selects
 // the default (gpfs).
 func KnownFS(name string) bool {
-	if name == "" {
-		return true
-	}
-	for _, n := range FileSystems {
-		if n == name {
-			return true
-		}
-	}
-	return false
+	_, err := fsys.Lookup(name)
+	return err == nil
 }
 
-// buildFS mounts the backend named by name ("" = gpfs) on the machine with
-// its default configuration, applying the Quiet ablation, and returns it
-// along with a pointer to its live storage-core counters.
-func buildFS(o Options, m *bgp.Machine, name string) (fsys.System, *storage.Stats, error) {
-	switch name {
-	case "", "gpfs":
-		cfg := gpfs.DefaultConfig()
-		if o.Quiet {
-			cfg.NoiseProb = 0
-		}
-		fs, err := gpfs.New(m, cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		return fs, &fs.Stats, nil
-	case "pvfs":
-		cfg := pvfs.DefaultConfig()
-		if o.Quiet {
-			cfg.NoiseProb = 0
-		}
-		fs, err := pvfs.New(m, cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		return fs, &fs.Stats, nil
-	case "bbuf":
-		cfg := bbuf.DefaultConfig()
-		if o.Quiet {
-			cfg.NoiseProb = 0
-		}
-		fs, err := bbuf.New(m, cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		return fs, &fs.Stats, nil
+// buildFS mounts the backend b ("" = fsys.DefaultBackend) on the machine
+// with its default configuration, applying the Quiet ablation, and returns
+// it along with a pointer to its live storage-core counters.
+func buildFS(o Options, m *bgp.Machine, b fsys.Backend) (fsys.System, *storage.Stats, error) {
+	fs, err := fsys.Mount(b, m, fsys.MountOptions{Quiet: o.Quiet})
+	if err != nil {
+		return nil, nil, err
 	}
-	return nil, nil, fmt.Errorf("exp: unknown file system %q (valid: %s)", name, strings.Join(FileSystems, ", "))
+	sp, ok := fs.(storage.StatsProvider)
+	if !ok {
+		return nil, nil, fmt.Errorf("exp: backend %q does not expose storage stats", fs.Name())
+	}
+	return fs, sp.StorageStats(), nil
 }

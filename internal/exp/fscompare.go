@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ckpt"
+	"repro/internal/fsys"
 )
 
 // FSRow is one (file system, strategy) measurement of the backend
@@ -30,7 +31,7 @@ func FSComparison(o Options, np int) ([]FSRow, error) {
 // FSComparisonOn runs the comparison on the named backends only. Each
 // (backend, strategy) cell is an independent simulation, so the cells run on
 // the experiment worker pool; results are identical at any pool size.
-func FSComparisonOn(o Options, np int, fsNames ...string) ([]FSRow, error) {
+func FSComparisonOn(o Options, np int, fsNames ...fsys.Backend) ([]FSRow, error) {
 	strategies := []ckpt.Strategy{
 		ckpt.DefaultRbIO(),
 		ckpt.CoIO{NumFiles: np / 64, Hints: defaultHints()},
@@ -50,7 +51,7 @@ func FSComparisonOn(o Options, np int, fsNames ...string) ([]FSRow, error) {
 	for i, r := range runs {
 		c := r.Agg
 		rows[i] = FSRow{
-			FS: jobs[i].FS, Strategy: jobs[i].Strategy.Name(), NP: np,
+			FS: string(jobs[i].FS), Strategy: jobs[i].Strategy.Name(), NP: np,
 			GBps: GB(c.Bandwidth()), StepSec: c.StepTime(),
 		}
 	}

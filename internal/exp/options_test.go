@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestOptionsCompatibility pins the equivalence of the two construction
+// styles: New with functional options must produce exactly the struct
+// literal it replaces, so existing callers can migrate field by field.
+func TestOptionsCompatibility(t *testing.T) {
+	tc := &TraceCollector{}
+	got := New(
+		Seed(7),
+		NPs(512, 1024),
+		Backend("pvfs"),
+		Parallel(3),
+		Quiet(),
+		Trace(tc),
+	)
+	want := Options{Seed: 7, NPs: []int{512, 1024}, FS: "pvfs", Parallel: 3, Quiet: true, Trace: tc}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("New(...) = %+v, want %+v", got, want)
+	}
+	if !reflect.DeepEqual(New(), Options{}) {
+		t.Fatalf("New() = %+v, want zero Options", New())
+	}
+}
+
+// TestNormalizeDefaults pins the single place zero values resolve.
+func TestNormalizeDefaults(t *testing.T) {
+	n := Options{}.normalize()
+	if n.Seed != 1 {
+		t.Fatalf("default seed %d, want 1", n.Seed)
+	}
+	if n.Parallel != runtime.NumCPU() {
+		t.Fatalf("default parallel %d, want NumCPU %d", n.Parallel, runtime.NumCPU())
+	}
+	if !reflect.DeepEqual(n.NPs, PaperNPs) {
+		t.Fatalf("default NPs %v, want %v", n.NPs, PaperNPs)
+	}
+	if n.FS != "gpfs" {
+		t.Fatalf("default FS %q, want gpfs", n.FS)
+	}
+
+	// Explicit values pass through untouched.
+	o := Options{Seed: 9, Parallel: 2, NPs: []int{64}, FS: "bbuf"}
+	if got := o.normalize(); !reflect.DeepEqual(got, o) {
+		t.Fatalf("normalize changed explicit options: %+v -> %+v", o, got)
+	}
+
+	// Negative Parallel is as unset as zero.
+	if got := (Options{Parallel: -4}).normalize().Parallel; got != runtime.NumCPU() {
+		t.Fatalf("normalize(-4 workers) = %d, want NumCPU", got)
+	}
+
+	// The accessors delegate to normalize.
+	if (Options{}).seed() != 1 || (Options{Seed: 5}).seed() != 5 {
+		t.Fatal("seed() does not delegate to normalize")
+	}
+	if (Options{Parallel: 2}).workers() != 2 {
+		t.Fatal("workers() does not delegate to normalize")
+	}
+	if !reflect.DeepEqual((Options{NPs: []int{8}}).nps(), []int{8}) {
+		t.Fatal("nps() does not delegate to normalize")
+	}
+}
+
+// TestExperimentRegistry sanity-checks the registry round-trip and the
+// duplicate-registration guard.
+func TestExperimentRegistry(t *testing.T) {
+	ds := Experiments()
+	if len(ds) < 20 {
+		t.Fatalf("only %d experiments registered", len(ds))
+	}
+	seen := map[string]bool{}
+	for _, d := range ds {
+		if d.Name == "" || d.Doc == "" || d.Run == nil {
+			t.Fatalf("incomplete descriptor: %+v", d)
+		}
+		if seen[d.Name] {
+			t.Fatalf("duplicate name %q in Experiments()", d.Name)
+		}
+		seen[d.Name] = true
+		got, ok := LookupExperiment(d.Name)
+		if !ok || got.Name != d.Name {
+			t.Fatalf("LookupExperiment(%q) failed", d.Name)
+		}
+	}
+	if _, ok := LookupExperiment("no-such-exp"); ok {
+		t.Fatal("LookupExperiment invented an experiment")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(Descriptor{Name: "fig5", Doc: "dup", Run: func(*Session) error { return nil }})
+}
+
+// TestSessionNPOr pins the single-NP override rule.
+func TestSessionNPOr(t *testing.T) {
+	s := NewSession(Options{}, nil)
+	if s.NPOr(16384) != 16384 {
+		t.Fatal("NPOr without a pinned sweep must return the default")
+	}
+	s = NewSession(Options{NPs: []int{512}}, nil)
+	if s.NPOr(16384) != 512 {
+		t.Fatal("NPOr with a single-NP sweep must return it")
+	}
+	s = NewSession(Options{NPs: []int{512, 1024}}, nil)
+	if s.NPOr(16384) != 16384 {
+		t.Fatal("NPOr with a multi-NP sweep must return the default")
+	}
+}

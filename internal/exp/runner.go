@@ -1,11 +1,11 @@
 package exp
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/ckpt"
+	"repro/internal/fsys"
 )
 
 // Job is one independent simulation: a single coordinated checkpoint step of
@@ -14,21 +14,12 @@ import (
 type Job struct {
 	NP       int
 	Strategy ckpt.Strategy
-	WithLog  bool   // collect per-op records (costs memory at 64K)
-	FS       string // storage backend; "" defers to Options.FS (default gpfs)
+	WithLog  bool         // collect per-op records (costs memory at 64K)
+	FS       fsys.Backend // storage backend; "" defers to Options.FS (default gpfs)
 	// Faults, when set, arms a fault injector on the job's kernel before the
 	// world spawns. The job then reports a FaultOutcome in its Run; storage
 	// unavailability becomes a lost-checkpoint outcome instead of an error.
 	Faults *FaultSpec
-}
-
-// workers resolves the worker-pool size: the Parallel option, defaulting to
-// one worker per CPU. A single worker runs jobs inline on the caller.
-func (o Options) workers() int {
-	if o.Parallel > 0 {
-		return o.Parallel
-	}
-	return runtime.NumCPU()
 }
 
 // RunSet executes the jobs on a worker pool and returns their results in

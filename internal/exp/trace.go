@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// TraceCollector gathers one trace.Recorder per simulation run across an
+// experiment (or several). It is safe for the runner's worker pool: runs
+// record into their own Recorder with zero synchronization, and only the
+// final hand-off of the finished recorder takes the collector's lock.
+// Entries sort by (NP, Label) so -parallel does not perturb the output.
+type TraceCollector struct {
+	// MaxEvents caps each run's retained event buffer (0 means
+	// trace.DefaultMaxEvents; aggregates keep counting past the cap).
+	MaxEvents int
+
+	mu      sync.Mutex
+	entries []TraceEntry
+}
+
+// TraceEntry is one simulation run's trace.
+type TraceEntry struct {
+	Label    string // "fs/strategy"
+	NP       int
+	Makespan float64 // final simulated time of the run
+	Rec      *trace.Recorder
+}
+
+func (tc *TraceCollector) newRecorder() *trace.Recorder {
+	r := trace.NewRecorder()
+	if tc.MaxEvents != 0 {
+		r.MaxEvents = tc.MaxEvents
+	}
+	return r
+}
+
+func (tc *TraceCollector) add(e TraceEntry) {
+	tc.mu.Lock()
+	tc.entries = append(tc.entries, e)
+	tc.mu.Unlock()
+}
+
+// Entries returns the collected runs sorted by (NP, Label, Makespan).
+func (tc *TraceCollector) Entries() []TraceEntry {
+	tc.mu.Lock()
+	out := make([]TraceEntry, len(tc.entries))
+	copy(out, tc.entries)
+	tc.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].NP != out[j].NP {
+			return out[i].NP < out[j].NP
+		}
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		return out[i].Makespan < out[j].Makespan
+	})
+	return out
+}
+
+// Metrics returns one aggregated metrics snapshot per collected run.
+func (tc *TraceCollector) Metrics() []trace.Metrics {
+	entries := tc.Entries()
+	out := make([]trace.Metrics, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.Rec.Snapshot(runLabel(e), e.Makespan))
+	}
+	return out
+}
+
+// WriteJSON writes every collected run as Chrome/Perfetto trace_event JSON
+// (load at ui.perfetto.dev or chrome://tracing).
+func (tc *TraceCollector) WriteJSON(w io.Writer) error {
+	entries := tc.Entries()
+	runs := make([]trace.RunTrace, 0, len(entries))
+	for _, e := range entries {
+		runs = append(runs, trace.RunTrace{Label: runLabel(e), Makespan: e.Makespan, Rec: e.Rec})
+	}
+	return trace.WriteJSON(w, runs)
+}
+
+func runLabel(e TraceEntry) string {
+	return e.Label + " np=" + strconv.Itoa(e.NP)
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // Pipe is a single shared FIFO channel with fixed bandwidth and per-transfer
@@ -33,6 +34,13 @@ type Pipe struct {
 	busy     float64 // cumulative seconds spent transmitting
 	bytes    int64   // cumulative bytes carried
 	degrade  float64 // bandwidth multiplier while degraded; 0 means healthy
+
+	// Tracing, set by Instrument; rec == nil (the default) disables it.
+	rec        *trace.Recorder
+	recLayer   trace.Layer
+	recTrack   int
+	recSpan    string // span name shared by pipes of the same class
+	recBacklog string // counter name, precomputed so Transfer never concatenates
 }
 
 // NewPipe returns a pipe with the given latency (s) and bandwidth (B/s).
@@ -52,6 +60,20 @@ func (p *Pipe) SetDegrade(factor float64) {
 		factor = 0
 	}
 	p.degrade = factor
+}
+
+// Instrument attaches a trace recorder to the pipe: every Transfer is
+// recorded as one span under the given layer and shared span name (e.g.
+// "ion.funnel"), on the given track (the pipe's instance index — pset,
+// ION, server). Span names are shared across instances so the metrics
+// table aggregates a pipe class into one row; the per-instance timeline
+// stays separated by track.
+func (p *Pipe) Instrument(rec *trace.Recorder, layer trace.Layer, span string, track int) {
+	p.rec = rec
+	p.recLayer = layer
+	p.recSpan = span
+	p.recBacklog = span + " backlog"
+	p.recTrack = track
 }
 
 // bw returns the pipe's effective bandwidth under any active degradation.
@@ -75,6 +97,13 @@ func (p *Pipe) Transfer(now float64, size int64) (start, end float64) {
 	p.nextFree = end
 	p.busy += dur
 	p.bytes += size
+	if p.rec != nil {
+		p.rec.Span(p.recLayer, p.recSpan, p.recTrack, start, end, size)
+		if wait := start - now - p.Latency; wait > 0 {
+			// Queue depth proxy: how far behind real time this channel is.
+			p.rec.Counter(p.recLayer, p.recBacklog, p.recTrack, now, wait)
+		}
+	}
 	return start, end
 }
 
@@ -88,6 +117,9 @@ func (p *Pipe) TransferExpress(now float64, size int64) (start, end float64) {
 	dur := float64(size) / p.bw()
 	p.busy += dur
 	p.bytes += size
+	if p.rec != nil {
+		p.rec.Span(p.recLayer, p.recSpan, p.recTrack, start, start+dur, size)
+	}
 	return start, start + dur
 }
 
@@ -132,6 +164,8 @@ type Torus struct {
 	// Transfer scratch, reused across calls (the kernel serializes them):
 	routeBuf []topo.Hop // current route
 	idxBuf   []int      // link index of each hop on it
+
+	rec *trace.Recorder // nil = no tracing
 }
 
 // NewTorus builds the torus fabric over the given topology.
@@ -147,6 +181,11 @@ func NewTorus(t topo.Torus, cfg TorusConfig) *Torus {
 
 // Config returns the torus physical parameters.
 func (tn *Torus) Config() TorusConfig { return tn.cfg }
+
+// Instrument attaches a trace recorder. Torus traffic is far too dense for
+// per-message spans (one per MPI message), so only aggregate message/byte
+// counters are kept; per-link occupancy remains available via MaxLinkBusy.
+func (tn *Torus) Instrument(rec *trace.Recorder) { tn.rec = rec }
 
 // Inject models the sender-side cost of handing size bytes to the torus DMA
 // from node src starting at now. It returns when the local send completes —
@@ -167,6 +206,10 @@ func (tn *Torus) Inject(now float64, src int, size int64) (injectDone float64) {
 // between a node and itself pay only injection (handled by the caller) and a
 // single hop latency for the local loopback.
 func (tn *Torus) Transfer(start float64, src, dst int, size int64) (arrival float64) {
+	if tn.rec != nil {
+		tn.rec.Add(trace.LayerFabric, "torus.msgs", 1)
+		tn.rec.Add(trace.LayerFabric, "torus.bytes", size)
+	}
 	if src == dst {
 		return start + tn.cfg.HopLatency
 	}

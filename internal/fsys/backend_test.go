@@ -1,0 +1,76 @@
+package fsys_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/fsys"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+
+	_ "repro/internal/bbuf"
+	_ "repro/internal/gpfs"
+	_ "repro/internal/pvfs"
+)
+
+func TestRegisteredBackends(t *testing.T) {
+	got := map[fsys.Backend]bool{}
+	for _, b := range fsys.Backends() {
+		got[b] = true
+	}
+	for _, want := range []fsys.Backend{"gpfs", "pvfs", "bbuf"} {
+		if !got[want] {
+			t.Fatalf("backend %q not registered (have %v)", want, fsys.Backends())
+		}
+	}
+}
+
+func TestLookupDefaultsAndErrors(t *testing.T) {
+	b, err := fsys.Lookup("")
+	if err != nil || b != fsys.DefaultBackend {
+		t.Fatalf("Lookup(\"\") = %q, %v; want %q", b, err, fsys.DefaultBackend)
+	}
+	if _, err := fsys.Lookup("pvfs"); err != nil {
+		t.Fatalf("Lookup(pvfs): %v", err)
+	}
+	_, err = fsys.Lookup("ext4")
+	if err == nil {
+		t.Fatal("Lookup(ext4) succeeded")
+	}
+	var ube *fsys.UnknownBackendError
+	if !errors.As(err, &ube) {
+		t.Fatalf("error is %T, want *UnknownBackendError", err)
+	}
+	if ube.Name != "ext4" || len(ube.Known) < 3 {
+		t.Fatalf("bad error detail: %+v", ube)
+	}
+}
+
+func TestMountRoundTrip(t *testing.T) {
+	for _, name := range []fsys.Backend{"gpfs", "pvfs", "bbuf"} {
+		k := sim.NewKernel()
+		m := bgp.MustNew(k, xrand.New(1), bgp.Intrepid(256))
+		fs, err := fsys.Mount(name, m, fsys.MountOptions{Quiet: true})
+		if err != nil {
+			t.Fatalf("Mount(%q): %v", name, err)
+		}
+		if fs.Name() != string(name) {
+			t.Fatalf("Mount(%q) mounted %q", name, fs.Name())
+		}
+		if fs.Machine() != m {
+			t.Fatalf("Mount(%q) bound to wrong machine", name)
+		}
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	fsys.Register("gpfs", func(m *bgp.Machine, opt fsys.MountOptions) (fsys.System, error) {
+		return nil, nil
+	})
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/data"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // AnySource matches a message from any rank in Recv.
@@ -66,6 +67,11 @@ type World struct {
 	msgPool    []*message  // free list of consumed messages
 	sendPool   []*sendHook // free list of fired send hooks
 	wakePool   []*wakeHook // free list of fired wake hooks
+
+	// rec caches the kernel's trace recorder at world construction. Every
+	// instrumentation point below guards on it being non-nil, which is the
+	// entire cost of tracing on the disabled MPI hot path.
+	rec *trace.Recorder
 }
 
 type valueEntry struct {
@@ -96,6 +102,7 @@ func NewWorld(m *bgp.Machine, cfg Config) *World {
 		splitReg: make(map[splitKey]*splitEntry),
 		barriers: make(map[splitKey]*barrierState),
 		values:   make(map[splitKey]*valueEntry),
+		rec:      m.K.Recorder(),
 	}
 	w.ranks = make([]*Rank, m.Cfg.Ranks)
 	members := make([]int, m.Cfg.Ranks)
@@ -327,10 +334,23 @@ func peekSeq(list []commSeq, comm int) int {
 type Request struct {
 	doneAt float64 // when the local buffer becomes reusable
 	start  float64
+	rank   int // issuing world rank, for the trace track
 }
 
 // Wait blocks until the operation completes locally.
-func (req *Request) Wait(p *sim.Proc) { p.SleepUntil(req.doneAt) }
+func (req *Request) Wait(p *sim.Proc) {
+	k := p.Kernel()
+	rec := k.Recorder()
+	if rec == nil {
+		p.SleepUntil(req.doneAt)
+		return
+	}
+	t0 := p.Now()
+	prev := k.SetLayer(trace.LayerMPI)
+	p.SleepUntil(req.doneAt)
+	rec.Span(trace.LayerMPI, "mpi.wait", req.rank, t0, p.Now(), 0)
+	k.SetLayer(prev)
+}
 
 // LocalTime returns the duration the operation occupied the caller — the
 // "perceived" cost of the send.
@@ -384,12 +404,16 @@ func (c *Comm) WorldRank(commRank int) int { return c.members[commRank] }
 // payload arrives at the destination after traversing the torus.
 func (c *Comm) Isend(r *Rank, dst, tag int, buf data.Buf) *Request {
 	doneAt, start := c.isend(r, dst, tag, buf)
-	return &Request{doneAt: doneAt, start: start}
+	return &Request{doneAt: doneAt, start: start, rank: r.id}
 }
 
 func (c *Comm) isend(r *Rank, dst, tag int, buf data.Buf) (doneAt, start float64) {
 	if dst < 0 || dst >= len(c.members) {
 		panic(fmt.Sprintf("mpi: Isend to rank %d of %d-rank comm", dst, len(c.members)))
+	}
+	var prevLayer trace.Layer
+	if r.w.rec != nil {
+		prevLayer = r.w.K.SetLayer(trace.LayerMPI)
 	}
 	start = r.Now()
 	cfg := r.w.cfg
@@ -412,6 +436,12 @@ func (c *Comm) isend(r *Rank, dst, tag int, buf data.Buf) (doneAt, start float64
 	msg := r.w.getMsg()
 	*msg = message{src: r.id, tag: tag, comm: c.id, buf: buf, dst: dstRank}
 	r.w.K.AtHook(arrival, msg)
+	if r.w.rec != nil {
+		r.w.rec.Span(trace.LayerMPI, "mpi.isend", r.id, start, localDone, buf.Len())
+		r.w.rec.Add(trace.LayerMPI, "mpi.msgs", 1)
+		r.w.rec.Add(trace.LayerMPI, "mpi.bytes", buf.Len())
+		r.w.K.SetLayer(prevLayer)
+	}
 	return localDone, start
 }
 
@@ -423,6 +453,12 @@ func (c *Comm) isend(r *Rank, dst, tag int, buf data.Buf) (doneAt, start float64
 func (c *Comm) Send(r *Rank, dst, tag int, buf data.Buf) {
 	if dst < 0 || dst >= len(c.members) {
 		panic(fmt.Sprintf("mpi: Send to rank %d of %d-rank comm", dst, len(c.members)))
+	}
+	var prevLayer trace.Layer
+	var t0 float64
+	if r.w.rec != nil {
+		prevLayer = r.w.K.SetLayer(trace.LayerMPI)
+		t0 = r.Now()
 	}
 	cfg := r.w.cfg
 	tCall := r.Now() + cfg.SendOverhead
@@ -439,6 +475,12 @@ func (c *Comm) Send(r *Rank, dst, tag int, buf data.Buf) {
 	}
 	r.w.K.AtHook(tCall, h)
 	r.proc.Park() // the hook resumes us at localDone
+	if r.w.rec != nil {
+		r.w.rec.Span(trace.LayerMPI, "mpi.send", r.id, t0, r.Now(), buf.Len())
+		r.w.rec.Add(trace.LayerMPI, "mpi.msgs", 1)
+		r.w.rec.Add(trace.LayerMPI, "mpi.bytes", buf.Len())
+		r.w.K.SetLayer(prevLayer)
+	}
 }
 
 // RecvRequest is an outstanding non-blocking receive posted with Irecv.
@@ -471,6 +513,12 @@ func (c *Comm) Recv(r *Rank, src, tag int) (data.Buf, int) {
 	if r.want != nil {
 		panic("mpi: rank has a receive already outstanding")
 	}
+	var prevLayer trace.Layer
+	var t0 float64
+	if r.w.rec != nil {
+		prevLayer = r.w.K.SetLayer(trace.LayerMPI)
+		t0 = r.Now()
+	}
 	srcWorld := AnySource
 	if src != AnySource {
 		if src < 0 || src >= len(c.members) {
@@ -494,12 +542,20 @@ func (c *Comm) Recv(r *Rank, src, tag int) (data.Buf, int) {
 		got = want.got
 		buf, srcWorld := got.buf, got.src
 		r.w.putMsg(got)
+		if r.w.rec != nil {
+			r.w.rec.Span(trace.LayerMPI, "mpi.recv", r.id, t0, r.Now(), buf.Len())
+			r.w.K.SetLayer(prevLayer)
+		}
 		return buf, c.rankOfWorld(srcWorld)
 	}
 	cfg := r.w.cfg
 	buf, srcWorld := got.buf, got.src
 	r.w.putMsg(got) // consumed: back to the pool before yielding
 	r.proc.Sleep(cfg.RecvOverhead + float64(buf.Len())/cfg.LocalCopyBW)
+	if r.w.rec != nil {
+		r.w.rec.Span(trace.LayerMPI, "mpi.recv", r.id, t0, r.Now(), buf.Len())
+		r.w.K.SetLayer(prevLayer)
+	}
 	return buf, c.rankOfWorld(srcWorld)
 }
 
@@ -513,6 +569,12 @@ func (c *Comm) Recv(r *Rank, src, tag int) (data.Buf, int) {
 func (c *Comm) RecvTimeout(r *Rank, src, tag int, timeout float64) (data.Buf, int, bool) {
 	if r.want != nil {
 		panic("mpi: rank has a receive already outstanding")
+	}
+	var prevLayer trace.Layer
+	var t0 float64
+	if r.w.rec != nil {
+		prevLayer = r.w.K.SetLayer(trace.LayerMPI)
+		t0 = r.Now()
 	}
 	srcWorld := AnySource
 	if src != AnySource {
@@ -543,17 +605,29 @@ func (c *Comm) RecvTimeout(r *Rank, src, tag int, timeout float64) (data.Buf, in
 		})
 		r.proc.Park()
 		if want.timedOut {
+			if r.w.rec != nil {
+				r.w.rec.Span(trace.LayerMPI, "mpi.recv.timeout", r.id, t0, r.Now(), 0)
+				r.w.K.SetLayer(prevLayer)
+			}
 			return data.Buf{}, -1, false
 		}
 		got = want.got
 		buf, srcWorld := got.buf, got.src
 		r.w.putMsg(got)
+		if r.w.rec != nil {
+			r.w.rec.Span(trace.LayerMPI, "mpi.recv", r.id, t0, r.Now(), buf.Len())
+			r.w.K.SetLayer(prevLayer)
+		}
 		return buf, c.rankOfWorld(srcWorld), true
 	}
 	cfg := r.w.cfg
 	buf, srcWorld := got.buf, got.src
 	r.w.putMsg(got)
 	r.proc.Sleep(cfg.RecvOverhead + float64(buf.Len())/cfg.LocalCopyBW)
+	if r.w.rec != nil {
+		r.w.rec.Span(trace.LayerMPI, "mpi.recv", r.id, t0, r.Now(), buf.Len())
+		r.w.K.SetLayer(prevLayer)
+	}
 	return buf, c.rankOfWorld(srcWorld), true
 }
 
@@ -591,6 +665,12 @@ func (c *Comm) Barrier(r *Rank) {
 	if n == 1 {
 		return
 	}
+	var prevLayer trace.Layer
+	var t0 float64
+	if r.w.rec != nil {
+		prevLayer = r.w.K.SetLayer(trace.LayerMPI)
+		t0 = r.Now()
+	}
 	c.mustRank(r)
 	seq := bump(&r.collSeq, c.id)
 	key := splitKey{parent: c.id, seq: seq}
@@ -607,6 +687,10 @@ func (c *Comm) Barrier(r *Rank) {
 		st.done.Wait(r.proc)
 	}
 	r.proc.Sleep(HWBarrierLatency)
+	if r.w.rec != nil {
+		r.w.rec.Span(trace.LayerMPI, "mpi.barrier", r.id, t0, r.Now(), 0)
+		r.w.K.SetLayer(prevLayer)
+	}
 }
 
 // Bcast broadcasts buf from root to all ranks (binomial tree) and returns

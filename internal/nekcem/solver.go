@@ -8,6 +8,7 @@ import (
 	"repro/internal/fsys"
 	"repro/internal/iolog"
 	"repro/internal/mpi"
+	"repro/internal/trace"
 )
 
 // RunConfig drives a production NekCEM simulation inside the machine model:
@@ -244,13 +245,30 @@ func Run(w *mpi.World, fs fsys.System, cfg RunConfig) (*RunResult, error) {
 			res.ComputeStep = stepTime
 		}
 
+		rec := w.M.K.Recorder()
 		for step := 1; step <= cfg.Steps; step++ {
 			st.Advance(cfg.DT) // real kernel in content mode, counters otherwise
-			p.Sleep(stepTime)
+			if rec != nil {
+				prev := w.M.K.SetLayer(trace.LayerCompute)
+				p.Sleep(stepTime)
+				w.M.K.SetLayer(prev)
+			} else {
+				p.Sleep(stepTime)
+			}
 			if cfg.CheckpointEvery > 0 && step%cfg.CheckpointEvery == 0 {
 				cp := st.Checkpoint()
 				up := cfg.RankUp == nil || cfg.RankUp(r.ID())
+				var prevLayer trace.Layer
+				var ct0 float64
+				if rec != nil {
+					prevLayer = w.M.K.SetLayer(trace.LayerCkpt)
+					ct0 = r.Now()
+				}
 				stats, err := plan.Write(env, r, cp)
+				if rec != nil {
+					rec.Span(trace.LayerCkpt, "ckpt.step", r.ID(), ct0, r.Now(), cp.TotalBytes())
+					w.M.K.SetLayer(prevLayer)
+				}
 				if err != nil {
 					fail(err)
 					return

@@ -165,3 +165,13 @@ func MustNew(m *bgp.Machine, cfg Config) *FileSystem {
 
 // Config returns the mounted configuration.
 func (fs *FileSystem) Config() Config { return fs.cfg }
+
+func init() {
+	fsys.Register("pvfs", func(m *bgp.Machine, opt fsys.MountOptions) (fsys.System, error) {
+		cfg := DefaultConfig()
+		if opt.Quiet {
+			cfg.NoiseProb = 0
+		}
+		return New(m, cfg)
+	})
+}

@@ -171,8 +171,12 @@ func (c *calQueue) vb(t float64) uint64 { return uint64(t * c.inv) }
 // len reports the total number of queued events.
 func (c *calQueue) len() int { return c.n + len(c.ovf) }
 
+// eventLess orders by (time, scheduling order). The top bits of seq carry
+// the scheduling layer's trace tag (see layerShift in kernel.go) and are
+// masked off here: layer tags must never influence dispatch order, or
+// attaching a recorder would change simulated results.
 func eventLess(a, b event) bool {
-	return a.t < b.t || (a.t == b.t && a.seq < b.seq)
+	return a.t < b.t || (a.t == b.t && a.seq&seqMask < b.seq&seqMask)
 }
 
 func (c *calQueue) push(ev event) {

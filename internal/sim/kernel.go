@@ -24,6 +24,22 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/trace"
+)
+
+// Layer tagging: every scheduled event carries the trace.Layer that was
+// current when it was scheduled, packed into the top bits of its sequence
+// number. The calendar's ordering predicate masks those bits off, so the
+// (t, seq-counter) dispatch order — and with it every simulated result —
+// is bit-identical whether the bits are zero (tracing off, no layer ever
+// set) or populated. Dispatch then restores the popped event's layer as
+// the kernel's current layer, which gives causal layer inheritance across
+// event chains: a commit completion scheduled by the storage layer
+// advances the clock as storage time even though the kernel pops it.
+const (
+	layerShift = 56
+	seqMask    = 1<<layerShift - 1
 )
 
 // Kernel is a discrete-event simulation engine. The zero value is not usable;
@@ -38,6 +54,11 @@ type Kernel struct {
 	reg     []*Proc // every process ever spawned, for deadlock reporting
 	running bool
 	mainCh  chan struct{} // baton handoff back to the Run/RunUntil caller
+
+	rec    *trace.Recorder // nil = tracing disabled (the only cost: nil checks)
+	layer  trace.Layer     // layer attributed to events scheduled now
+	ndisp  uint64          // events dispatched (maintained only while tracing)
+	nwoken uint64          // process resumes dispatched
 }
 
 // Hook is a pre-allocated event action. Hot schedulers (the MPI transport's
@@ -72,6 +93,30 @@ func NewKernel() *Kernel {
 
 // Now returns the current simulation time in seconds.
 func (k *Kernel) Now() float64 { return k.now }
+
+// SetRecorder attaches a trace recorder; nil detaches it. Attach before
+// building the model so construction-time instrumentation (fabric pipes)
+// sees it. The recorder only observes — it never schedules events or draws
+// randomness — so attaching one cannot change simulated results.
+func (k *Kernel) SetRecorder(r *trace.Recorder) { k.rec = r }
+
+// Recorder returns the attached trace recorder, nil when tracing is off.
+// Instrumented layers cache it and guard emission with a nil check.
+func (k *Kernel) Recorder() *trace.Recorder { return k.rec }
+
+// SetLayer declares which layer's code is scheduling events until further
+// notice, returning the previous layer so callers can restore it on exit.
+// Layer entry points (an MPI operation, a storage write, a checkpoint
+// phase) bracket themselves with it; everything in between — including
+// events their callees schedule — is attributed to that layer.
+func (k *Kernel) SetLayer(l trace.Layer) trace.Layer {
+	prev := k.layer
+	k.layer = l
+	return prev
+}
+
+// Layer returns the layer currently attributed to new events.
+func (k *Kernel) Layer() trace.Layer { return k.layer }
 
 // At schedules fn to run at absolute simulation time t. Scheduling in the
 // past panics: the model has a causality bug.
@@ -118,7 +163,23 @@ func (k *Kernel) insert(t float64, h Hook) {
 		panic("sim: scheduling event at NaN time")
 	}
 	k.seq++
-	k.cal.push(event{t: t, seq: k.seq, h: h})
+	k.cal.push(event{t: t, seq: k.seq | uint64(k.layer)<<layerShift, h: h})
+}
+
+// observe is the tracing-enabled half of a dispatch: attribute the clock
+// advance to the popped event's layer, adopt that layer as current, and
+// sample the calendar depth. Split out so the disabled hot path pays one
+// nil check and nothing else.
+func (k *Kernel) observe(ev event) {
+	lay := trace.Layer(ev.seq >> layerShift)
+	if ev.t > k.now {
+		k.rec.Advance(lay, k.now, ev.t)
+	}
+	k.layer = lay
+	k.ndisp++
+	if k.ndisp&4095 == 0 {
+		k.rec.Counter(trace.LayerKernel, "cal.depth", 0, ev.t, float64(k.cal.len()))
+	}
 }
 
 // DeadlockError reports processes still blocked when the event calendar
@@ -163,6 +224,9 @@ func (k *Kernel) RunUntil(t float64) {
 	k.dispatchMain()
 	k.horizon = prev
 	if t > k.now {
+		if k.rec != nil {
+			k.rec.Advance(trace.LayerKernel, k.now, t)
+		}
 		k.now = t
 	}
 }
@@ -190,6 +254,9 @@ func (k *Kernel) dispatchMain() {
 			return
 		}
 		ev := k.cal.pop()
+		if k.rec != nil {
+			k.observe(ev)
+		}
 		k.now = ev.t
 		p, ok := ev.h.(*Proc)
 		if !ok {
@@ -199,6 +266,7 @@ func (k *Kernel) dispatchMain() {
 		if p.done {
 			panic("sim: resuming finished process " + p.name)
 		}
+		k.nwoken++
 		p.ch <- struct{}{}
 		<-k.mainCh
 		return
@@ -218,6 +286,9 @@ func (k *Kernel) dispatch(self *Proc) {
 			return
 		}
 		ev := k.cal.pop()
+		if k.rec != nil {
+			k.observe(ev)
+		}
 		k.now = ev.t
 		p, ok := ev.h.(*Proc)
 		if !ok {
@@ -230,6 +301,7 @@ func (k *Kernel) dispatch(self *Proc) {
 		if p.done {
 			panic("sim: resuming finished process " + p.name)
 		}
+		k.nwoken++
 		p.ch <- struct{}{}
 		<-self.ch
 		return
@@ -247,6 +319,9 @@ func (k *Kernel) dispatchEnd() {
 			return
 		}
 		ev := k.cal.pop()
+		if k.rec != nil {
+			k.observe(ev)
+		}
 		k.now = ev.t
 		p, ok := ev.h.(*Proc)
 		if !ok {
@@ -256,6 +331,7 @@ func (k *Kernel) dispatchEnd() {
 		if p.done {
 			panic("sim: resuming finished process " + p.name)
 		}
+		k.nwoken++
 		p.ch <- struct{}{}
 		return
 	}
@@ -267,3 +343,11 @@ func (k *Kernel) Pending() int { return k.cal.len() }
 // Events reports the total number of events ever scheduled — the natural
 // denominator for events-per-second throughput measurements.
 func (k *Kernel) Events() uint64 { return k.seq }
+
+// Dispatched reports events popped and fired. Maintained only while a
+// recorder is attached; zero otherwise.
+func (k *Kernel) Dispatched() uint64 { return k.ndisp }
+
+// Woken reports process resumes dispatched through the baton protocol.
+// Sleep's handoff-eliding fast path does not count: no resume event fires.
+func (k *Kernel) Woken() uint64 { return k.nwoken }

@@ -67,6 +67,11 @@ func (p *Proc) Sleep(d float64) {
 	t := k.now + d
 	if t <= k.horizon {
 		if next, ok := k.cal.peek(); !ok || next.t > t {
+			if k.rec != nil && t > k.now {
+				// The elided handoff advances the clock without an event;
+				// attribute it to the layer that would have tagged one.
+				k.rec.Advance(k.layer, k.now, t)
+			}
 			k.now = t
 			return
 		}

@@ -75,11 +75,17 @@ func (c *Core) PlanServer(f *File, b int64, t float64) (*Server, float64, error)
 		// unresponsive before it can react.
 		delay += pol.DetectTimeout
 		c.Stats.Retries++
+		if c.rec != nil {
+			c.rec.Instant(c.recLayer, "storage.retry", home, t+delay)
+		}
 		if pol.Failover {
 			for s := 1; s < len(c.servers); s++ {
 				cand := (home + s) % len(c.servers)
 				if c.faults.UpAt(fault.Server, cand, t+delay) {
 					c.Stats.Failovers++
+					if c.rec != nil {
+						c.rec.Instant(c.recLayer, "storage.failover", cand, t+delay)
+					}
 					c.Stats.FaultDelay += delay
 					return c.servers[cand], delay, nil
 				}

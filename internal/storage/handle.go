@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Handle is an open file descriptor. Handles may be shared across ranks
@@ -96,12 +97,27 @@ func (h *Handle) WriteAt(p *sim.Proc, rank int, off int64, buf data.Buf) error {
 	c := h.c
 	c.TrackBurst(rank)
 
+	var prevLayer trace.Layer
+	var t0 float64
+	if c.rec != nil {
+		prevLayer = c.m.K.SetLayer(c.recLayer)
+		t0 = p.Now()
+	}
+
 	// 1. Data cuts through the pset funnel into the ION packet by packet
 	// while the client stream drains it toward the servers.
 	treeEnd := c.funnelIn(p, rank, buf.Len())
 	// 2. Whatever the concurrency policy requires before data moves
 	// (byte-range tokens serialized at the file's metanode, or nothing).
-	c.lock.AcquireWrite(p, c, rank, h.f, off, buf.Len())
+	if c.rec != nil {
+		lt0 := p.Now()
+		c.lock.AcquireWrite(p, c, rank, h.f, off, buf.Len())
+		if lt1 := p.Now(); lt1 > lt0 {
+			c.rec.Span(c.recLayer, "lock.acquire", rank, lt0, lt1, 0)
+		}
+	} else {
+		c.lock.AcquireWrite(p, c, rank, h.f, off, buf.Len())
+	}
 	// 3. The client stream pipeline drains toward the servers. Streams are
 	// per (file, rank): the ION's CIOD proxies each compute process's I/O
 	// through its own stream, so distinct writers on one pset do not share
@@ -118,7 +134,12 @@ func (h *Handle) WriteAt(p *sim.Proc, rank int, off int64, buf data.Buf) error {
 	h.f.store.Write(off, buf)
 	c.Stats.BytesWritten += buf.Len()
 
-	return wait(p)
+	err := wait(p)
+	if c.rec != nil {
+		c.rec.Span(c.recLayer, "fs.write", rank, t0, p.Now(), buf.Len())
+		c.m.K.SetLayer(prevLayer)
+	}
+	return err
 }
 
 // ReadAt reads n bytes at offset off, charging the data path's return path.
@@ -131,10 +152,22 @@ func (h *Handle) ReadAt(p *sim.Proc, rank int, off, n int64) (data.Buf, error) {
 	if off+n > h.f.store.Size() {
 		return data.Buf{}, fmt.Errorf("%s: read [%d,%d) beyond EOF %d of %s", h.c.name, off, off+n, h.f.store.Size(), h.f.name)
 	}
-	if err := h.c.path.Read(p, h.c, h, rank, off, n); err != nil {
+	c := h.c
+	var prevLayer trace.Layer
+	var t0 float64
+	if c.rec != nil {
+		prevLayer = c.m.K.SetLayer(c.recLayer)
+		t0 = p.Now()
+	}
+	err := c.path.Read(p, c, h, rank, off, n)
+	if c.rec != nil {
+		c.rec.Span(c.recLayer, "fs.read", rank, t0, p.Now(), n)
+		c.m.K.SetLayer(prevLayer)
+	}
+	if err != nil {
 		return data.Buf{}, err
 	}
-	h.c.Stats.BytesRead += n
+	c.Stats.BytesRead += n
 	return h.f.store.Read(off, n), nil
 }
 
@@ -155,12 +188,23 @@ func (h *Handle) Close(p *sim.Proc, rank int) error {
 	if h.closed {
 		return h.c.errs.Closed
 	}
+	c := h.c
+	var prevLayer trace.Layer
+	var t0 float64
+	if c.rec != nil {
+		prevLayer = c.m.K.SetLayer(c.recLayer)
+		t0 = p.Now()
+	}
 	for h.total > 0 {
 		h.closeWait = append(h.closeWait, p)
 		p.Park()
 	}
 	h.c.ShipToION(p, rank, 256)
 	h.c.meta.Close(p, h.c, h.f.name)
+	if c.rec != nil {
+		c.rec.Span(c.recLayer, "md.close", rank, t0, p.Now(), 0)
+		c.m.K.SetLayer(prevLayer)
+	}
 	h.closed = true
 	h.c.Stats.Closes++
 	// Surface any asynchronous commit loss the way fsync/close would: the

@@ -44,6 +44,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fsys"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
@@ -184,9 +185,29 @@ type Core struct {
 	burstClients  map[int]struct{} // distinct ranks writing in the current burst
 	lastIssue     float64          // time of the most recent write issue
 
+	// Tracing: the kernel's recorder, cached at mount; nil disables every
+	// instrumentation point at the cost of one pointer compare.
+	rec      *trace.Recorder
+	recLayer trace.Layer
+
 	// Stats aggregates observable file system activity.
 	Stats Stats
 }
+
+// StatsProvider is implemented by any fsys.System whose counters are the
+// shared storage-core Stats; the experiment layer uses it to read a
+// mounted backend's counters without knowing the concrete type.
+type StatsProvider interface {
+	StorageStats() *Stats
+}
+
+// StorageStats returns the live storage-core counters.
+func (c *Core) StorageStats() *Stats { return &c.Stats }
+
+// Recorder returns the trace recorder the core was mounted with (nil when
+// tracing is off) and the layer its events carry, for policy code that
+// emits its own spans.
+func (c *Core) Recorder() (*trace.Recorder, trace.Layer) { return c.rec, c.recLayer }
 
 var _ fsys.System = (*Core)(nil)
 
@@ -281,6 +302,16 @@ func New(m *bgp.Machine, cfg Config, b Backend) (*Core, error) {
 		c.servers[i] = &Server{
 			pipe: fabric.NewPipe(fmt.Sprintf("%s%d", prefix, i), cfg.ServerLat, cfg.ServerBW),
 			rng:  m.RNG.Split(),
+		}
+	}
+	if rec := m.K.Recorder(); rec != nil {
+		c.rec = rec
+		c.recLayer = trace.LayerStorage
+		if b.Name == "bbuf" {
+			c.recLayer = trace.LayerBBuf
+		}
+		for i, s := range c.servers {
+			s.pipe.Instrument(rec, trace.LayerStorage, "server.write", i)
 		}
 	}
 	return c, nil
@@ -445,8 +476,18 @@ func (c *Core) newFile(path string) *File {
 // through the rank's pset funnel and whatever queueing the metadata policy
 // models; the namespace mutation itself is mechanism.
 func (c *Core) Create(p *sim.Proc, rank int, path string) (fsys.Handle, error) {
+	var prevLayer trace.Layer
+	var t0 float64
+	if c.rec != nil {
+		prevLayer = c.m.K.SetLayer(c.recLayer)
+		t0 = p.Now()
+	}
 	c.ShipToION(p, rank, 512)
 	c.meta.Create(p, c, path)
+	if c.rec != nil {
+		c.rec.Span(c.recLayer, "md.create", rank, t0, p.Now(), 0)
+		c.m.K.SetLayer(prevLayer)
+	}
 	if _, ok := c.files[path]; ok {
 		return nil, fmt.Errorf("%w: %s", c.errs.Exists, path)
 	}
@@ -459,8 +500,18 @@ func (c *Core) Create(p *sim.Proc, rank int, path string) (fsys.Handle, error) {
 
 // Open implements fsys.System.
 func (c *Core) Open(p *sim.Proc, rank int, path string) (fsys.Handle, error) {
+	var prevLayer trace.Layer
+	var t0 float64
+	if c.rec != nil {
+		prevLayer = c.m.K.SetLayer(c.recLayer)
+		t0 = p.Now()
+	}
 	c.ShipToION(p, rank, 512)
 	c.meta.Open(p, c, path)
+	if c.rec != nil {
+		c.rec.Span(c.recLayer, "md.open", rank, t0, p.Now(), 0)
+		c.m.K.SetLayer(prevLayer)
+	}
 	f, ok := c.files[path]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", c.errs.NotExist, path)
