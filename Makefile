@@ -17,7 +17,7 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./internal/sim/... ./internal/exp/...
+	$(GO) test -race ./internal/sim/... ./internal/exp/... ./internal/machine/...
 
 # bench runs the perf-regression microbenchmarks (calendar queue, process
 # handoff, resource ring). BenchmarkFig5Wallclock is excluded: it simulates

@@ -510,7 +510,7 @@ func BenchmarkMicroTorusTransfer(b *testing.B) {
 	m := bgp.MustNew(sim.NewKernel(), xrand.New(1), bgp.Intrepid(4096))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.Torus.Transfer(float64(i), i%1024, (i*31)%1024, 1<<20)
+		m.Net.Transfer(float64(i), i%1024, (i*31)%1024, 1<<20)
 	}
 }
 

@@ -12,6 +12,8 @@
 //	iobench -quiet           # disable the shared-storage noise model
 //	iobench -seed 7          # different reproducible noise sample
 //	iobench -fs bbuf         # run the checkpoint experiments on another backend
+//	iobench -machine bgl     # run on another machine preset (bgl, fattree, dragonfly)
+//	iobench -map xyzt        # override the rank->node placement policy
 //	iobench -trace out.json  # emit a Chrome/Perfetto trace of every run
 //	iobench -metrics         # print per-layer simulated-time and span tables
 package main
@@ -26,7 +28,10 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/fsys"
+	"repro/internal/machine"
 	"repro/internal/perf"
+
+	_ "repro/internal/bgp" // registers the Blue Gene machine presets
 )
 
 func main() {
@@ -37,6 +42,8 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "disable the shared-storage noise model")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "experiment worker-pool size (1 = serial); results are identical at any setting")
 		fsName    = flag.String("fs", "gpfs", "storage backend for checkpoint experiments: gpfs, pvfs, bbuf (fscompare, drainoverlap and the GPFS-knob ablations/priorwork pick their own backends)")
+		machName  = flag.String("machine", "", "machine preset for checkpoint experiments: intrepid (default), bgl, fattree, dragonfly (priorwork pins its own machines)")
+		mapName   = flag.String("map", "", "rank->node placement policy override: txyz (machine default), xyzt, blocked, roundrobin, random")
 		mtbf      = flag.Float64("mtbf", 6, "per-component MTBF in hours for the fault experiments (faultsweep, makespan)")
 		traceOut  = flag.String("trace", "", "write a Chrome/Perfetto trace_event JSON of every simulation run to this file (load at ui.perfetto.dev)")
 		metrics   = flag.Bool("metrics", false, "print per-run aggregated metrics (per-layer simulated time, counters, span stats)")
@@ -55,6 +62,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if _, err := machine.Lookup(*machName); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := machine.ValidatePlacement(*mapName); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if _, ok := exp.LookupExperiment(*which); !ok && *which != "all" {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: all, list", *which)
 		for _, d := range exp.Experiments() {
@@ -68,6 +83,8 @@ func main() {
 		exp.Seed(*seed),
 		exp.Backend(backend),
 		exp.Parallel(*parallel),
+		exp.Machine(*machName),
+		exp.Map(*mapName),
 	}
 	if *quiet {
 		opts = append(opts, exp.Quiet())

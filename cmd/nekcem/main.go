@@ -21,6 +21,7 @@ import (
 	"repro/internal/fsys"
 	"repro/internal/gpfs"
 	"repro/internal/iolog"
+	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
 	"repro/internal/nekcem"
@@ -38,6 +39,8 @@ func main() {
 		fsName   = flag.String("fs", "gpfs", "parallel file system model: gpfs or pvfs")
 		nf       = flag.Int("nf", 0, "coio: number of files (default np/64); rbio: np/ng group count")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		machName = flag.String("machine", "", "machine preset: intrepid (default), bgl, fattree, dragonfly")
+		mapName  = flag.String("map", "", "rank->node placement policy: txyz (default), xyzt, blocked, roundrobin, random")
 		quiet    = flag.Bool("quiet", false, "disable shared-storage noise")
 		content  = flag.Bool("content", false, "content mode: run the real SEDG kernel and verify restart bit-for-bit (small np)")
 		logPath  = flag.String("log", "", "write a Darshan-style I/O trace (JSON) to this file")
@@ -89,10 +92,20 @@ func main() {
 	}
 
 	k := sim.NewKernel()
-	m, err := bgp.New(k, xrand.New(*seed), bgp.Intrepid(*np))
+	desc, err := machine.Lookup(*machName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(2)
+	}
+	mcfg := desc.Config(*np)
+	if *mapName != "" {
+		mcfg.Placement = *mapName
+		mcfg.PlacementSeed = *seed
+	}
+	m, err := bgp.New(k, xrand.New(*seed), mcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	var fs fsys.System
 	switch *fsName {

@@ -20,10 +20,10 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/bgp"
 	"repro/internal/fabric"
 	"repro/internal/fault"
 	"repro/internal/fsys"
+	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/xrand"
@@ -137,7 +137,7 @@ type FileSystem struct {
 var _ fsys.System = (*FileSystem)(nil)
 
 // New mounts a burst-buffer file system on the machine.
-func New(m *bgp.Machine, cfg Config) (*FileSystem, error) {
+func New(m *machine.Machine, cfg Config) (*FileSystem, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -173,7 +173,7 @@ func New(m *bgp.Machine, cfg Config) (*FileSystem, error) {
 }
 
 // MustNew is New, panicking on error.
-func MustNew(m *bgp.Machine, cfg Config) *FileSystem {
+func MustNew(m *machine.Machine, cfg Config) *FileSystem {
 	fs, err := New(m, cfg)
 	if err != nil {
 		panic(err)
@@ -185,7 +185,7 @@ func MustNew(m *bgp.Machine, cfg Config) *FileSystem {
 func (fs *FileSystem) Config() Config { return fs.cfg }
 
 func init() {
-	fsys.Register("bbuf", func(m *bgp.Machine, opt fsys.MountOptions) (fsys.System, error) {
+	fsys.Register("bbuf", func(m *machine.Machine, opt fsys.MountOptions) (fsys.System, error) {
 		cfg := DefaultConfig()
 		if opt.Quiet {
 			cfg.NoiseProb = 0

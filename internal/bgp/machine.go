@@ -1,35 +1,38 @@
-// Package bgp assembles the Blue Gene/P machine model: quad-core compute
-// nodes placed on a 3-D torus, psets of 64 compute nodes sharing one
-// dedicated I/O node (ION), and the Ethernet fabric from IONs toward the
-// storage system.
+// Package bgp holds the Blue Gene machine presets, expressed as
+// compositions of the internal/machine policy seams: Intrepid is a 3-D
+// torus topology, TXYZ rank placement, quad-core compute nodes, psets of 64
+// nodes funneled through one ION over the collective network, and 10 GbE
+// from IONs toward the storage system. BlueGeneL is the authors' prior
+// machine; the fattree and dragonfly presets are Intrepid with only the
+// interconnect shape swapped, for what-if studies.
 //
 // The Intrepid presets follow the published system parameters: 4 cores per
 // node ("virtual node" mode, so MPI ranks == cores), 64 nodes (256 ranks)
 // per pset, 850 MHz cores, 425 MB/s torus links, ~850 MB/s collective
 // network per pset, 10 GbE per ION.
+//
+// The Machine/Config/New names are aliases for their internal/machine
+// equivalents, kept so the wide pre-refactor import surface still reads
+// naturally at call sites that only ever mean "a Blue Gene".
 package bgp
 
 import (
-	"fmt"
-
 	"repro/internal/fabric"
-	"repro/internal/sim"
-	"repro/internal/topo"
-	"repro/internal/trace"
-	"repro/internal/xrand"
+	"repro/internal/machine"
 )
 
-// Config describes a machine partition.
-type Config struct {
-	Ranks        int // MPI processes; one per core in VN mode
-	RanksPerNode int // cores per compute node (4 on BG/P)
-	NodesPerPset int // compute nodes per I/O node (64 on Intrepid)
-	CPUHz        float64
+// Config is an alias for machine.Config.
+type Config = machine.Config
 
-	Torus fabric.TorusConfig
-	Tree  fabric.TreeConfig
-	Eth   fabric.EthernetConfig
-}
+// Machine is an alias for machine.Machine.
+type Machine = machine.Machine
+
+// New builds a machine for the given configuration on the kernel; see
+// machine.New.
+var New = machine.New
+
+// MustNew is New, panicking on configuration errors; see machine.MustNew.
+var MustNew = machine.MustNew
 
 // Intrepid returns the configuration of an Intrepid partition with the given
 // number of MPI ranks (must be a power of two and a multiple of 4).
@@ -39,7 +42,9 @@ func Intrepid(ranks int) Config {
 		RanksPerNode: 4,
 		NodesPerPset: 64,
 		CPUHz:        850e6,
-		Torus:        fabric.DefaultTorusConfig(),
+		Topology:     "torus",
+		Placement:    "txyz",
+		Link:         fabric.DefaultLinkConfig(),
 		Tree:         fabric.DefaultTreeConfig(),
 		Eth:          fabric.DefaultEthernetConfig(),
 	}
@@ -51,139 +56,46 @@ func Intrepid(ranks int) Config {
 // large ANL/SDSC-class systems, 175 MB/s torus links per direction and a
 // ~350 MB/s collective network.
 func BlueGeneL(ranks int) Config {
-	cfg := Config{
-		Ranks:        ranks,
-		RanksPerNode: 2,
-		NodesPerPset: 32,
-		CPUHz:        700e6,
-		Torus:        fabric.DefaultTorusConfig(),
-		Tree:         fabric.DefaultTreeConfig(),
-		Eth:          fabric.DefaultEthernetConfig(),
-	}
-	cfg.Torus.LinkBW = 175e6
-	cfg.Torus.InjectBW = 2.0e9
+	cfg := Intrepid(ranks)
+	cfg.RanksPerNode = 2
+	cfg.NodesPerPset = 32
+	cfg.CPUHz = 700e6
+	cfg.Link.LinkBW = 175e6
+	cfg.Link.InjectBW = 2.0e9
 	cfg.Tree.BW = 350e6
 	cfg.Eth.IONBw = 1e9 / 8 * 4 // ~0.5 GB/s per ION (4x less ION bandwidth)
 	cfg.Eth.CoreBW = 8e9
 	return cfg
 }
 
-// Validate checks internal consistency of the configuration.
-func (c Config) Validate() error {
-	if c.Ranks <= 0 {
-		return fmt.Errorf("bgp: ranks must be positive, got %d", c.Ranks)
-	}
-	if c.RanksPerNode <= 0 || c.Ranks%c.RanksPerNode != 0 {
-		return fmt.Errorf("bgp: ranks %d not divisible by ranks-per-node %d", c.Ranks, c.RanksPerNode)
-	}
-	nodes := c.Ranks / c.RanksPerNode
-	if nodes&(nodes-1) != 0 {
-		return fmt.Errorf("bgp: node count %d is not a power of two", nodes)
-	}
-	if c.NodesPerPset <= 0 {
-		return fmt.Errorf("bgp: nodes-per-pset must be positive, got %d", c.NodesPerPset)
-	}
-	if c.CPUHz <= 0 {
-		return fmt.Errorf("bgp: CPU frequency must be positive")
-	}
-	return nil
+func init() {
+	machine.Register(machine.Descriptor{
+		Name:   "intrepid",
+		Doc:    "ANL Intrepid BG/P: 3-D torus, TXYZ, 64-node psets (default)",
+		Config: Intrepid,
+	})
+	machine.Register(machine.Descriptor{
+		Name:    "bgl",
+		Doc:     "Blue Gene/L: 2 ranks/node, 32-node psets, slower fabrics",
+		Aliases: []string{"bluegenel"},
+		Config:  BlueGeneL,
+	})
+	machine.Register(machine.Descriptor{
+		Name: "fattree",
+		Doc:  "Intrepid compute/I/O parameters on a two-level fat tree",
+		Config: func(ranks int) Config {
+			cfg := Intrepid(ranks)
+			cfg.Topology = "fattree"
+			return cfg
+		},
+	})
+	machine.Register(machine.Descriptor{
+		Name: "dragonfly",
+		Doc:  "Intrepid compute/I/O parameters on a dragonfly",
+		Config: func(ranks int) Config {
+			cfg := Intrepid(ranks)
+			cfg.Topology = "dragonfly"
+			return cfg
+		},
+	})
 }
-
-// Machine is a built partition: all fabrics instantiated over a shared
-// simulation kernel.
-type Machine struct {
-	Cfg   Config
-	K     *sim.Kernel
-	RNG   *xrand.RNG // machine-level noise stream
-	Topo  topo.Torus
-	Torus *fabric.Torus
-	Tree  *fabric.Tree
-	Eth   *fabric.Ethernet
-
-	numNodes int
-	numPsets int
-}
-
-// New builds a machine for the given configuration on the kernel. The RNG
-// seeds all machine-level nondeterminism (OS noise, storage noise).
-func New(k *sim.Kernel, rng *xrand.RNG, cfg Config) (*Machine, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	nodes := cfg.Ranks / cfg.RanksPerNode
-	psets := (nodes + cfg.NodesPerPset - 1) / cfg.NodesPerPset
-	t := topo.Dims(nodes)
-	m := &Machine{
-		Cfg:      cfg,
-		K:        k,
-		RNG:      rng,
-		Topo:     t,
-		Torus:    fabric.NewTorus(t, cfg.Torus),
-		Tree:     fabric.NewTree(psets, cfg.Tree),
-		Eth:      fabric.NewEthernet(psets, cfg.Eth),
-		numNodes: nodes,
-		numPsets: psets,
-	}
-	if rec := k.Recorder(); rec != nil {
-		// Attach the kernel's recorder before the machine is used, so every
-		// fabric transfer of the run is captured. SetRecorder must therefore
-		// precede New — exp.runCheckpoint does this.
-		m.Torus.Instrument(rec)
-		for i := 0; i < psets; i++ {
-			m.Tree.Pset(i).Instrument(rec, trace.LayerFabric, "ion.funnel", i)
-			m.Eth.NIC(i).Instrument(rec, trace.LayerFabric, "eth.nic", i)
-		}
-		m.Eth.Core().Instrument(rec, trace.LayerFabric, "eth.core", 0)
-	}
-	return m, nil
-}
-
-// MustNew is New, panicking on configuration errors. Intended for tests and
-// examples with known-good configs.
-func MustNew(k *sim.Kernel, rng *xrand.RNG, cfg Config) *Machine {
-	m, err := New(k, rng, cfg)
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
-
-// NumNodes returns the number of compute nodes in the partition.
-func (m *Machine) NumNodes() int { return m.numNodes }
-
-// NumPsets returns the number of psets (== IONs) in the partition.
-func (m *Machine) NumPsets() int { return m.numPsets }
-
-// NodeOfRank returns the compute node hosting an MPI rank. Ranks are packed
-// onto nodes in order (VN mode: ranks 4k..4k+3 share node k), matching the
-// default BG/P mapping.
-func (m *Machine) NodeOfRank(rank int) int {
-	if rank < 0 || rank >= m.Cfg.Ranks {
-		panic(fmt.Sprintf("bgp: rank %d out of range [0,%d)", rank, m.Cfg.Ranks))
-	}
-	return rank / m.Cfg.RanksPerNode
-}
-
-// PsetOfNode returns the pset index of a compute node.
-func (m *Machine) PsetOfNode(node int) int {
-	if node < 0 || node >= m.numNodes {
-		panic(fmt.Sprintf("bgp: node %d out of range [0,%d)", node, m.numNodes))
-	}
-	return node / m.Cfg.NodesPerPset
-}
-
-// PsetOfRank returns the pset index of an MPI rank.
-func (m *Machine) PsetOfRank(rank int) int {
-	return m.PsetOfNode(m.NodeOfRank(rank))
-}
-
-// RanksPerPset returns the number of MPI ranks sharing one ION.
-func (m *Machine) RanksPerPset() int {
-	return m.Cfg.NodesPerPset * m.Cfg.RanksPerNode
-}
-
-// Cycles converts a CPU cycle count to seconds on this machine.
-func (m *Machine) Cycles(n float64) float64 { return n / m.Cfg.CPUHz }
-
-// ToCycles converts seconds to CPU cycles on this machine.
-func (m *Machine) ToCycles(sec float64) float64 { return sec * m.Cfg.CPUHz }

@@ -122,7 +122,7 @@ func TestBlueGeneLPreset(t *testing.T) {
 	}
 	// Slower machine than BG/P everywhere it should be.
 	p := Intrepid(32768)
-	if cfg.CPUHz >= p.CPUHz || cfg.Torus.LinkBW >= p.Torus.LinkBW || cfg.Tree.BW >= p.Tree.BW {
+	if cfg.CPUHz >= p.CPUHz || cfg.Link.LinkBW >= p.Link.LinkBW || cfg.Tree.BW >= p.Tree.BW {
 		t.Fatal("BG/L not slower than BG/P")
 	}
 }

@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/bgp"
 	"repro/internal/ckpt"
 	"repro/internal/gpfs"
 	"repro/internal/mpi"
@@ -40,7 +39,7 @@ func AblationTable(rows []AblationRow) string {
 // runWith executes one checkpoint step with a custom GPFS configuration.
 func runWith(o Options, np int, strat ckpt.Strategy, mod func(*gpfs.Config)) (*Run, error) {
 	k := sim.NewKernel()
-	m, err := bgp.New(k, xrand.New(o.seed()^uint64(np)*0x9e37), bgp.Intrepid(np))
+	m, err := o.newMachine(k, xrand.New(o.seed()^uint64(np)*0x9e37), np)
 	if err != nil {
 		return nil, err
 	}

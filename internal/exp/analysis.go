@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/bgp"
 	"repro/internal/ckpt"
 	"repro/internal/mpi"
 	"repro/internal/nekcem"
@@ -30,7 +29,7 @@ type Eq1Result struct {
 // the end-to-end time and the checkpoint/compute ratio.
 func production(o Options, np, nc int, strat ckpt.Strategy) (wall, ratio float64, err error) {
 	k := sim.NewKernel()
-	m, err := bgp.New(k, xrand.New(o.seed()^uint64(np)), bgp.Intrepid(np))
+	m, err := o.newMachine(k, xrand.New(o.seed()^uint64(np)), np)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -163,7 +162,7 @@ func MeshRead(o Options, cases ...MeshReadRow) ([]MeshReadRow, error) {
 	out := make([]MeshReadRow, 0, len(cases))
 	for _, c := range cases {
 		k := sim.NewKernel()
-		m, err := bgp.New(k, xrand.New(o.seed()), bgp.Intrepid(c.NP))
+		m, err := o.newMachine(k, xrand.New(o.seed()), c.NP)
 		if err != nil {
 			return nil, err
 		}

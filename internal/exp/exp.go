@@ -13,12 +13,12 @@ import (
 	"strings"
 
 	"repro/internal/bbuf"
-	"repro/internal/bgp"
 	"repro/internal/ckpt"
 	"repro/internal/fault"
 	"repro/internal/fsys"
 	"repro/internal/gpfs"
 	"repro/internal/iolog"
+	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
 	"repro/internal/nekcem"
@@ -42,6 +42,15 @@ type Options struct {
 	// that sweep GPFS-specific knobs (the ablations, prior work) always use
 	// gpfs regardless.
 	FS fsys.Backend
+	// Machine selects the machine preset simulations run on: "intrepid"
+	// (the default, also chosen by ""), "bgl", "fattree", or "dragonfly" —
+	// whatever the machine registry holds. Experiments that intentionally
+	// pin a machine (priorwork's BG/L arm) ignore it.
+	Machine string
+	// Map overrides the preset's rank→node placement policy ("txyz",
+	// "xyzt", "blocked", "roundrobin", "random"); "" keeps the preset's
+	// own mapping.
+	Map string
 	// Parallel is the worker-pool size for experiment sets (RunSet/RunAll):
 	// 0 means one worker per CPU, 1 forces serial execution. Simulations are
 	// deterministic per-run, so the worker count changes wall-clock time
@@ -113,7 +122,7 @@ func runCheckpoint(o Options, j Job) (*Run, error) {
 		k.SetRecorder(rec)
 	}
 	rng := xrand.New(o.seed() ^ uint64(np)*0x9e37)
-	m, err := bgp.New(k, rng, bgp.Intrepid(np))
+	m, err := buildMachine(o, j, k, rng, np)
 	if err != nil {
 		return nil, err
 	}
@@ -204,10 +213,45 @@ func runCheckpoint(o Options, j Job) (*Run, error) {
 	return r, nil
 }
 
+// buildMachine composes the partition a job runs on: the machine preset the
+// job (or, if the job leaves it empty, the options) selects, with the
+// placement and pset-ratio overrides applied. The default composition —
+// Intrepid, txyz — is exactly the pre-refactor machine, pinned by the
+// machine_*.golden files.
+func buildMachine(o Options, j Job, k *sim.Kernel, rng *xrand.RNG, np int) (*machine.Machine, error) {
+	name := j.Machine
+	if name == "" {
+		name = o.Machine
+	}
+	d, err := machine.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := d.Config(np)
+	if p := j.Map; p != "" {
+		cfg.Placement = p
+	} else if o.Map != "" {
+		cfg.Placement = o.Map
+	}
+	// The placement's seed rides the experiment seed so a "random" mapping
+	// is reproducible per run; placement never draws from the machine RNG.
+	cfg.PlacementSeed = o.seed()
+	if j.NodesPerPset > 0 {
+		cfg.NodesPerPset = j.NodesPerPset
+	}
+	return machine.New(k, rng, cfg)
+}
+
+// newMachine is buildMachine without job-level overrides, for analyses that
+// build machines outside the job runner.
+func (o Options) newMachine(k *sim.Kernel, rng *xrand.RNG, np int) (*machine.Machine, error) {
+	return buildMachine(o, Job{}, k, rng, np)
+}
+
 // faultOutcome condenses a faulted run's loss accounting and, when the spec
 // asks and nothing was lost, drives a fresh job's restart from the surviving
 // checkpoint on the same (possibly still-degraded) storage.
-func faultOutcome(o Options, j Job, m *bgp.Machine, fs fsys.System, r *Run, inj *fault.Injector) *FaultOutcome {
+func faultOutcome(o Options, j Job, m *machine.Machine, fs fsys.System, r *Run, inj *fault.Injector) *FaultOutcome {
 	agg := r.Agg
 	fo := &FaultOutcome{
 		DeadRanks:     agg.DeadRanks,

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/bgp"
 	"repro/internal/ckpt"
 	"repro/internal/fault"
 	"repro/internal/fsys"
+	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/xrand"
@@ -66,7 +66,7 @@ type FaultOutcome struct {
 // attachFaults samples (or adopts) the spec's schedule, arms an injector on
 // the kernel, and threads it through the storage backend and the Ethernet
 // NICs. It must run before the MPI world spawns.
-func attachFaults(k *sim.Kernel, m *bgp.Machine, fs fsys.System, spec *FaultSpec) (*fault.Injector, error) {
+func attachFaults(k *sim.Kernel, m *machine.Machine, fs fsys.System, spec *FaultSpec) (*fault.Injector, error) {
 	servers := 0
 	if sc, ok := fs.(interface{ Servers() []*storage.Server }); ok {
 		servers = len(sc.Servers())
@@ -103,14 +103,30 @@ func attachFaults(k *sim.Kernel, m *bgp.Machine, fs fsys.System, spec *FaultSpec
 		f.EnableFaults(inj, pol, frng)
 	}
 	inj.Subscribe(func(ev fault.Event) {
-		if ev.Class != fault.Link || ev.Index >= m.NumPsets() {
-			return
-		}
-		switch ev.Kind {
-		case fault.Degrade:
-			m.Eth.NIC(ev.Index).SetDegrade(ev.Factor)
-		case fault.Restore:
-			m.Eth.NIC(ev.Index).SetDegrade(0)
+		switch ev.Class {
+		case fault.Link:
+			if ev.Index >= m.NumPsets() {
+				return
+			}
+			switch ev.Kind {
+			case fault.Degrade:
+				m.Eth.NIC(ev.Index).SetDegrade(ev.Factor)
+			case fault.Restore:
+				m.Eth.NIC(ev.Index).SetDegrade(0)
+			}
+		case fault.FabricLink:
+			// Compute-interconnect links degrade through the generic engine.
+			// Sampled schedules never include this class (its rate is absent
+			// from the map above), so it only fires from explicit schedules.
+			if ev.Index >= m.Topo.NumLinks() {
+				return
+			}
+			switch ev.Kind {
+			case fault.Degrade:
+				m.Net.SetLinkDegrade(ev.Index, ev.Factor)
+			case fault.Restore:
+				m.Net.SetLinkDegrade(ev.Index, 0)
+			}
 		}
 	})
 	return inj, nil
@@ -277,7 +293,7 @@ func Makespan(o Options, np int, mtbfHours float64) ([]MakespanRow, error) {
 	// (nodes, IONs, servers) counts; links only degrade, so they do not
 	// interrupt the job.
 	k := sim.NewKernel()
-	m, err := bgp.New(k, xrand.New(o.seed()), bgp.Intrepid(np))
+	m, err := o.newMachine(k, xrand.New(o.seed()), np)
 	if err != nil {
 		return nil, err
 	}

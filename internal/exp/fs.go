@@ -3,8 +3,8 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/bgp"
 	"repro/internal/fsys"
+	"repro/internal/machine"
 	"repro/internal/storage"
 
 	// Backends self-register with the fsys registry from their package
@@ -29,7 +29,7 @@ func KnownFS(name string) bool {
 // buildFS mounts the backend b ("" = fsys.DefaultBackend) on the machine
 // with its default configuration, applying the Quiet ablation, and returns
 // it along with a pointer to its live storage-core counters.
-func buildFS(o Options, m *bgp.Machine, b fsys.Backend) (fsys.System, *storage.Stats, error) {
+func buildFS(o Options, m *machine.Machine, b fsys.Backend) (fsys.System, *storage.Stats, error) {
 	fs, err := fsys.Mount(b, m, fsys.MountOptions{Quiet: o.Quiet})
 	if err != nil {
 		return nil, nil, err

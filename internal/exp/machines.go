@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/machine"
+)
+
+// sweepStrategies are the three-approach subset the machine-shape sweeps
+// use: the paper's strongest strategy, the collective baseline, and the
+// naive one — enough to see whether a machine knob reorders them.
+func sweepStrategies(np int) ([]ckpt.Strategy, []string) {
+	return []ckpt.Strategy{
+		ckpt.DefaultRbIO(),
+		ckpt.CoIO{NumFiles: np / 64, Hints: defaultHints()},
+		ckpt.OnePFPP{},
+	}, []string{"rbIO", "coIO", "1PFPP"}
+}
+
+// MapRow is one (placement policy, strategy) measurement of the rank-mapping
+// sweep: how much of checkpoint performance is an artifact of where ranks
+// land on the fabric.
+type MapRow struct {
+	Policy   string
+	Strategy string
+	NP       int
+	GBps     float64
+	StepSec  float64
+}
+
+// MapSweep runs the sweep strategies under every registered placement
+// policy at the given processor count, holding machine, backend, and seed
+// fixed. Each cell is an independent simulation on the worker pool, so the
+// table is identical at any -parallel setting.
+func MapSweep(o Options, np int) ([]MapRow, error) {
+	strategies, _ := sweepStrategies(np)
+	policies := machine.PlacementNames()
+	var jobs []Job
+	for _, pol := range policies {
+		for _, strat := range strategies {
+			jobs = append(jobs, Job{NP: np, Strategy: strat, Map: pol})
+		}
+	}
+	runs, err := RunSet(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]MapRow, len(runs))
+	for i, r := range runs {
+		c := r.Agg
+		rows[i] = MapRow{
+			Policy: jobs[i].Map, Strategy: jobs[i].Strategy.Name(), NP: np,
+			GBps: GB(c.Bandwidth()), StepSec: c.StepTime(),
+		}
+	}
+	return rows, nil
+}
+
+// MapSweepTable renders the placement sweep.
+func MapSweepTable(rows []MapRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Policy, r.Strategy, fmt.Sprint(r.NP),
+			fmt.Sprintf("%.2f", r.GBps), fmt.Sprintf("%.1f", r.StepSec),
+		})
+	}
+	return FormatTable([]string{"placement", "strategy", "np", "GB/s", "step (s)"}, out)
+}
+
+// PsetRatioRow is one (compute:ION ratio, strategy) measurement of the
+// pset-ratio sweep: the paper fixes 64 compute nodes per ION; this asks how
+// the approaches would rank had the machine been provisioned differently.
+type PsetRatioRow struct {
+	NodesPerPset int
+	Strategy     string
+	NP           int
+	GBps         float64
+	StepSec      float64
+}
+
+// PsetRatios is the compute:ION ratio sweep, bracketing Intrepid's 64:1.
+var PsetRatios = []int{16, 32, 64, 128}
+
+// PsetRatio runs the sweep strategies across compute:ION ratios at the
+// given processor count. Ratios needing more psets than the partition has
+// nodes are skipped.
+func PsetRatio(o Options, np int) ([]PsetRatioRow, error) {
+	strategies, _ := sweepStrategies(np)
+	var jobs []Job
+	for _, ratio := range PsetRatios {
+		d, err := machine.Lookup(o.Machine)
+		if err != nil {
+			return nil, err
+		}
+		if nodes := np / d.Config(np).RanksPerNode; ratio > nodes {
+			continue
+		}
+		for _, strat := range strategies {
+			jobs = append(jobs, Job{NP: np, Strategy: strat, NodesPerPset: ratio})
+		}
+	}
+	runs, err := RunSet(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PsetRatioRow, len(runs))
+	for i, r := range runs {
+		c := r.Agg
+		rows[i] = PsetRatioRow{
+			NodesPerPset: jobs[i].NodesPerPset, Strategy: jobs[i].Strategy.Name(), NP: np,
+			GBps: GB(c.Bandwidth()), StepSec: c.StepTime(),
+		}
+	}
+	return rows, nil
+}
+
+// PsetRatioTable renders the pset-ratio sweep.
+func PsetRatioTable(rows []PsetRatioRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d:1", r.NodesPerPset), r.Strategy, fmt.Sprint(r.NP),
+			fmt.Sprintf("%.2f", r.GBps), fmt.Sprintf("%.1f", r.StepSec),
+		})
+	}
+	return FormatTable([]string{"nodes:ION", "strategy", "np", "GB/s", "step (s)"}, out)
+}
+
+func init() {
+	Register(Descriptor{
+		Name: "mapsweep", Doc: "checkpoint performance across rank-placement policies",
+		Flags: "-machine -map",
+		Run: func(s *Session) error {
+			rows, err := MapSweep(s.Opts, s.NPOr(2048))
+			if err != nil {
+				return err
+			}
+			s.printf("== Extension: rank-placement (mapping) sweep ==\n%s\n", MapSweepTable(rows))
+			return nil
+		},
+	})
+	Register(Descriptor{
+		Name: "psetratio", Doc: "checkpoint performance across compute:ION pset ratios",
+		Flags: "-machine",
+		Run: func(s *Session) error {
+			rows, err := PsetRatio(s.Opts, s.NPOr(2048))
+			if err != nil {
+				return err
+			}
+			s.printf("== Extension: compute:ION pset-ratio sweep ==\n%s\n", PsetRatioTable(rows))
+			return nil
+		},
+	})
+}

@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/bgp"
 	"repro/internal/ckpt"
 	"repro/internal/mpi"
 	"repro/internal/nekcem"
@@ -41,7 +40,7 @@ func MultiLevelStudy(o Options, np int) ([]MLRow, error) {
 	var rows []MLRow
 	for _, strat := range cases {
 		k := sim.NewKernel()
-		m, err := bgp.New(k, xrand.New(o.seed()^uint64(np)), bgp.Intrepid(np))
+		m, err := o.newMachine(k, xrand.New(o.seed()^uint64(np)), np)
 		if err != nil {
 			return nil, err
 		}

@@ -57,6 +57,13 @@ func NPs(nps ...int) Option {
 // Backend selects the storage backend ("" means fsys.DefaultBackend).
 func Backend(b fsys.Backend) Option { return func(o *Options) { o.FS = b } }
 
+// Machine selects the machine preset ("" means machine.DefaultMachine).
+func Machine(name string) Option { return func(o *Options) { o.Machine = name } }
+
+// Map overrides the preset's rank→node placement policy ("" keeps the
+// preset's own mapping).
+func Map(policy string) Option { return func(o *Options) { o.Map = policy } }
+
 // Parallel sets the experiment worker-pool size (<= 0 means one per CPU).
 func Parallel(n int) Option { return func(o *Options) { o.Parallel = n } }
 

@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/bgp"
 	"repro/internal/ckpt"
 	"repro/internal/gpfs"
 	"repro/internal/mpi"
@@ -34,7 +33,7 @@ func RestartStudy(o Options, np int) ([]RestartRow, error) {
 	var rows []RestartRow
 	for _, strat := range strategies {
 		k := sim.NewKernel()
-		m, err := bgp.New(k, xrand.New(o.seed()^uint64(np)), bgp.Intrepid(np))
+		m, err := o.newMachine(k, xrand.New(o.seed()^uint64(np)), np)
 		if err != nil {
 			return nil, err
 		}

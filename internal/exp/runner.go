@@ -16,6 +16,13 @@ type Job struct {
 	Strategy ckpt.Strategy
 	WithLog  bool         // collect per-op records (costs memory at 64K)
 	FS       fsys.Backend // storage backend; "" defers to Options.FS (default gpfs)
+	// Machine and Map override the machine preset and placement policy for
+	// this job only; "" defers to Options.Machine / Options.Map.
+	Machine string
+	Map     string
+	// NodesPerPset, when positive, overrides the preset's compute:ION ratio
+	// (the psetratio experiment's sweep variable).
+	NodesPerPset int
 	// Faults, when set, arms a fault injector on the job's kernel before the
 	// world spawns. The job then reports a FaultOutcome in its Run; storage
 	// unavailability becomes a lost-checkpoint outcome instead of an error.

@@ -1,15 +1,14 @@
-// Package fabric models the data-movement fabrics of a Blue Gene/P system:
-// the 3-D torus between compute nodes, the per-pset collective (tree)
-// network that funnels I/O to the I/O nodes, and the 10-Gigabit Ethernet
-// between I/O nodes and file servers.
+// Package fabric models the shared-channel data-movement fabrics of a
+// parallel machine's I/O path: the per-pset collective (tree) network that
+// funnels I/O to the I/O nodes, and the 10-Gigabit Ethernet between I/O
+// nodes and file servers. It also defines LinkConfig, the physical
+// parameters of the compute interconnect, whose link-graph cost engine
+// lives in internal/machine (Interconnect) so it can route over any
+// topology.
 //
 // All fabrics use the same contention model: a transmission reserves each
 // shared channel FIFO. A channel remembers when it next becomes free; a
-// transfer arriving earlier waits. Torus messages are routed
-// dimension-ordered and use a virtual-cut-through approximation — the head
-// of the message pays per-hop latency and queueing on every link of the
-// route, while the body's serialization time is charged once (at the
-// bottleneck) and recorded as occupancy on every traversed link.
+// transfer arriving earlier waits.
 //
 // The model is arithmetic rather than event-per-hop: callers obtain the
 // arrival time and sleep until it. That keeps 65,536-rank simulations at a
@@ -19,7 +18,6 @@ package fabric
 import (
 	"fmt"
 
-	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
@@ -132,18 +130,24 @@ func (p *Pipe) Bytes() int64 { return p.bytes }
 // NextFree returns the earliest time a new transfer could begin serializing.
 func (p *Pipe) NextFree() float64 { return p.nextFree }
 
-// TorusConfig holds the physical parameters of the torus network.
-type TorusConfig struct {
+// LinkConfig holds the physical parameters of the compute interconnect's
+// links, consumed by machine.Interconnect over whatever topology the
+// machine composes.
+type LinkConfig struct {
 	LinkBW     float64 // bytes/s per direction per link (BG/P: 425 MB/s)
 	HopLatency float64 // per-hop router latency in seconds
 	InjectBW   float64 // node DMA injection bandwidth, bytes/s
 	InjectLat  float64 // software send overhead in seconds
 }
 
-// DefaultTorusConfig returns Blue Gene/P torus parameters: 425 MB/s per link
+// TorusConfig is the historical name of LinkConfig, from when the torus was
+// the only interconnect the simulator knew.
+type TorusConfig = LinkConfig
+
+// DefaultLinkConfig returns Blue Gene/P torus parameters: 425 MB/s per link
 // direction, ~100ns per hop, and DMA injection near memory speed.
-func DefaultTorusConfig() TorusConfig {
-	return TorusConfig{
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{
 		LinkBW:     425e6,
 		HopLatency: 100e-9,
 		InjectBW:   3.4e9,
@@ -151,102 +155,8 @@ func DefaultTorusConfig() TorusConfig {
 	}
 }
 
-// Torus is the 3-D torus interconnect with per-directed-link contention
-// state.
-type Torus struct {
-	Topo topo.Torus
-	cfg  TorusConfig
-
-	linkFree   []float64 // per directed link: time it next becomes free
-	injectFree []float64 // per node: injection DMA next free
-	linkBusy   []float64 // per directed link: cumulative occupancy
-
-	// Transfer scratch, reused across calls (the kernel serializes them):
-	routeBuf []topo.Hop // current route
-	idxBuf   []int      // link index of each hop on it
-
-	rec *trace.Recorder // nil = no tracing
-}
-
-// NewTorus builds the torus fabric over the given topology.
-func NewTorus(t topo.Torus, cfg TorusConfig) *Torus {
-	return &Torus{
-		Topo:       t,
-		cfg:        cfg,
-		linkFree:   make([]float64, t.NumLinks()),
-		injectFree: make([]float64, t.Nodes()),
-		linkBusy:   make([]float64, t.NumLinks()),
-	}
-}
-
-// Config returns the torus physical parameters.
-func (tn *Torus) Config() TorusConfig { return tn.cfg }
-
-// Instrument attaches a trace recorder. Torus traffic is far too dense for
-// per-message spans (one per MPI message), so only aggregate message/byte
-// counters are kept; per-link occupancy remains available via MaxLinkBusy.
-func (tn *Torus) Instrument(rec *trace.Recorder) { tn.rec = rec }
-
-// Inject models the sender-side cost of handing size bytes to the torus DMA
-// from node src starting at now. It returns when the local send completes —
-// the moment a non-blocking send's buffer is reusable and MPI_Isend-style
-// calls are "perceived" as done by the application.
-func (tn *Torus) Inject(now float64, src int, size int64) (injectDone float64) {
-	start := now + tn.cfg.InjectLat
-	if tn.injectFree[src] > start {
-		start = tn.injectFree[src]
-	}
-	done := start + float64(size)/tn.cfg.InjectBW
-	tn.injectFree[src] = done
-	return done
-}
-
-// Transfer routes size bytes from node src to node dst starting at the given
-// injection-complete time and returns the arrival time at dst. Transfers
-// between a node and itself pay only injection (handled by the caller) and a
-// single hop latency for the local loopback.
-func (tn *Torus) Transfer(start float64, src, dst int, size int64) (arrival float64) {
-	if tn.rec != nil {
-		tn.rec.Add(trace.LayerFabric, "torus.msgs", 1)
-		tn.rec.Add(trace.LayerFabric, "torus.bytes", size)
-	}
-	if src == dst {
-		return start + tn.cfg.HopLatency
-	}
-	tn.routeBuf = tn.Topo.AppendRoute(tn.routeBuf[:0], src, dst)
-	tn.idxBuf = tn.idxBuf[:0]
-	head := start
-	bottleneck := tn.cfg.LinkBW
-	// Head flit traverses each link, queueing behind earlier messages.
-	for _, h := range tn.routeBuf {
-		idx := tn.Topo.LinkIndex(h)
-		tn.idxBuf = append(tn.idxBuf, idx)
-		if tn.linkFree[idx] > head {
-			head = tn.linkFree[idx]
-		}
-		head += tn.cfg.HopLatency
-	}
-	ser := float64(size) / bottleneck
-	arrival = head + ser
-	// The body occupies every traversed link for its serialization time.
-	for _, idx := range tn.idxBuf {
-		tn.linkFree[idx] = arrival
-		tn.linkBusy[idx] += ser
-	}
-	return arrival
-}
-
-// MaxLinkBusy returns the highest cumulative occupancy across all links,
-// a congestion diagnostic.
-func (tn *Torus) MaxLinkBusy() float64 {
-	max := 0.0
-	for _, b := range tn.linkBusy {
-		if b > max {
-			max = b
-		}
-	}
-	return max
-}
+// DefaultTorusConfig is the historical name of DefaultLinkConfig.
+func DefaultTorusConfig() LinkConfig { return DefaultLinkConfig() }
 
 // TreeConfig holds the collective-network parameters.
 type TreeConfig struct {

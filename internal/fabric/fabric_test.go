@@ -3,9 +3,6 @@ package fabric
 import (
 	"math"
 	"testing"
-	"testing/quick"
-
-	"repro/internal/topo"
 )
 
 func TestPipeSerializes(t *testing.T) {
@@ -52,85 +49,6 @@ func TestPipeRejectsZeroBandwidth(t *testing.T) {
 		}
 	}()
 	NewPipe("bad", 0, 0)
-}
-
-func TestTorusUncontendedLatency(t *testing.T) {
-	tor := topo.New(8, 8, 8)
-	cfg := TorusConfig{LinkBW: 425e6, HopLatency: 100e-9, InjectBW: 3.4e9, InjectLat: 2e-6}
-	tn := NewTorus(tor, cfg)
-	src, dst := 0, tor.ID(topo.Coord{X: 3, Y: 0, Z: 0})
-	size := int64(1 << 20)
-	arr := tn.Transfer(0, src, dst, size)
-	want := 3*cfg.HopLatency + float64(size)/cfg.LinkBW
-	if math.Abs(arr-want) > 1e-9 {
-		t.Fatalf("uncontended arrival %v, want %v", arr, want)
-	}
-}
-
-func TestTorusContentionSharedLink(t *testing.T) {
-	tor := topo.New(8, 1, 1)
-	cfg := TorusConfig{LinkBW: 1e6, HopLatency: 0, InjectBW: 1e12, InjectLat: 0}
-	tn := NewTorus(tor, cfg)
-	// Two messages 0->2 share both links; second must wait for the first.
-	a1 := tn.Transfer(0, 0, 2, 1e6)
-	a2 := tn.Transfer(0, 0, 2, 1e6)
-	if math.Abs(a1-1.0) > 1e-9 {
-		t.Fatalf("first arrival %v, want 1.0", a1)
-	}
-	if a2 < 2.0-1e-9 {
-		t.Fatalf("second arrival %v shows no contention (want >= 2.0)", a2)
-	}
-}
-
-func TestTorusDisjointPathsDoNotInterfere(t *testing.T) {
-	tor := topo.New(8, 8, 1)
-	cfg := TorusConfig{LinkBW: 1e6, HopLatency: 0, InjectBW: 1e12, InjectLat: 0}
-	tn := NewTorus(tor, cfg)
-	// 0->1 along X and 16->24 along Y share no links.
-	a1 := tn.Transfer(0, 0, 1, 1e6)
-	a2 := tn.Transfer(0, tor.ID(topo.Coord{X: 0, Y: 2, Z: 0}), tor.ID(topo.Coord{X: 0, Y: 3, Z: 0}), 1e6)
-	if math.Abs(a1-1.0) > 1e-9 || math.Abs(a2-1.0) > 1e-9 {
-		t.Fatalf("disjoint transfers interfered: %v, %v", a1, a2)
-	}
-}
-
-func TestTorusSelfTransfer(t *testing.T) {
-	tor := topo.New(4, 4, 4)
-	tn := NewTorus(tor, DefaultTorusConfig())
-	arr := tn.Transfer(1.0, 5, 5, 1<<20)
-	if arr <= 1.0 || arr > 1.0+1e-3 {
-		t.Fatalf("self transfer arrival %v, want slightly after 1.0", arr)
-	}
-}
-
-func TestInjectSerializesPerNode(t *testing.T) {
-	tor := topo.New(4, 1, 1)
-	cfg := TorusConfig{LinkBW: 425e6, HopLatency: 0, InjectBW: 1e6, InjectLat: 0}
-	tn := NewTorus(tor, cfg)
-	d1 := tn.Inject(0, 0, 1e6) // 1s at 1 MB/s
-	d2 := tn.Inject(0, 0, 1e6)
-	if math.Abs(d1-1.0) > 1e-9 || math.Abs(d2-2.0) > 1e-9 {
-		t.Fatalf("injections [%v %v], want [1 2]", d1, d2)
-	}
-	// A different node's injector is independent.
-	d3 := tn.Inject(0, 1, 1e6)
-	if math.Abs(d3-1.0) > 1e-9 {
-		t.Fatalf("independent node injection %v, want 1.0", d3)
-	}
-}
-
-func TestTransferArrivalNeverBeforeStart(t *testing.T) {
-	tor := topo.New(4, 4, 2)
-	tn := NewTorus(tor, DefaultTorusConfig())
-	f := func(a, b uint16, kb uint16, t0 uint8) bool {
-		src, dst := int(a)%tor.Nodes(), int(b)%tor.Nodes()
-		start := float64(t0) * 0.01
-		arr := tn.Transfer(start, src, dst, int64(kb)*1024+1)
-		return arr > start
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
-		t.Fatal(err)
-	}
 }
 
 func TestTreeFunnelSharedPerPset(t *testing.T) {
@@ -192,18 +110,6 @@ func TestTransferExpressDoesNotQueue(t *testing.T) {
 	s2, _ := p.Transfer(0, 1e6)
 	if s2 < 5.0 {
 		t.Fatalf("bulk transfer jumped the queue: %v", s2)
-	}
-}
-
-func TestMaxLinkBusyGrows(t *testing.T) {
-	tor := topo.New(4, 1, 1)
-	tn := NewTorus(tor, TorusConfig{LinkBW: 1e6, HopLatency: 0, InjectBW: 1e12, InjectLat: 0})
-	if tn.MaxLinkBusy() != 0 {
-		t.Fatal("fresh torus has busy links")
-	}
-	tn.Transfer(0, 0, 2, 1e6)
-	if tn.MaxLinkBusy() != 1.0 {
-		t.Fatalf("busy %v, want 1.0", tn.MaxLinkBusy())
 	}
 }
 

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/bgp"
+	"repro/internal/machine"
 )
 
 // Backend is a typed file-system backend name ("gpfs", "pvfs", "bbuf").
@@ -25,7 +25,7 @@ type MountOptions struct {
 }
 
 // MountFunc mounts a backend's file system model on a machine.
-type MountFunc func(m *bgp.Machine, opt MountOptions) (System, error)
+type MountFunc func(m *machine.Machine, opt MountOptions) (System, error)
 
 var (
 	backends     = map[Backend]MountFunc{}
@@ -98,7 +98,7 @@ func Lookup(name string) (Backend, error) {
 
 // Mount resolves and mounts a backend on the machine. An empty Backend
 // mounts DefaultBackend.
-func Mount(b Backend, m *bgp.Machine, opt MountOptions) (System, error) {
+func Mount(b Backend, m *machine.Machine, opt MountOptions) (System, error) {
 	rb, err := Lookup(string(b))
 	if err != nil {
 		return nil, err

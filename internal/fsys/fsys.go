@@ -9,8 +9,8 @@ package fsys
 import (
 	"errors"
 
-	"repro/internal/bgp"
 	"repro/internal/data"
+	"repro/internal/machine"
 	"repro/internal/sim"
 )
 
@@ -39,7 +39,7 @@ type System interface {
 	// Name identifies the file system model ("gpfs", "pvfs").
 	Name() string
 	// Machine returns the machine the file system is mounted on.
-	Machine() *bgp.Machine
+	Machine() *machine.Machine
 	// BlockSize is the stripe/lock granularity relevant to I/O middleware
 	// alignment decisions.
 	BlockSize() int64

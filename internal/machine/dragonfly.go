@@ -1,0 +1,181 @@
+package machine
+
+import "fmt"
+
+// Dragonfly is a canonical dragonfly: p compute nodes per router, a routers
+// per group wired all-to-all locally, and exactly one global link between
+// every ordered pair of groups. Routing is minimal: up to the source router,
+// at most one local hop to the group's gateway router for the destination
+// group, the global hop, at most one local hop inside the destination group,
+// and down. Gateway assignment spreads global links round-robin over a
+// group's routers, so which router owns the g→g' link is deterministic.
+//
+// Vertices: nodes [0, n), routers [n, n+g*a).
+type Dragonfly struct {
+	n int // compute nodes
+	p int // nodes per router
+	a int // routers per group
+	g int // groups
+}
+
+// NewDragonfly builds a dragonfly over n compute nodes (a power of two).
+// Router and group arity scale with the partition so small test machines
+// still exercise every hop class.
+func NewDragonfly(n int) *Dragonfly {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("machine: dragonfly node count %d is not a positive power of two", n))
+	}
+	p, a := 1, 1
+	switch {
+	case n >= 64:
+		p, a = 4, 4
+	case n >= 16:
+		p, a = 2, 4
+	case n >= 4:
+		p, a = 1, 2
+	}
+	return &Dragonfly{n: n, p: p, a: a, g: n / (p * a)}
+}
+
+// Name implements Topology.
+func (d *Dragonfly) Name() string { return "dragonfly" }
+
+// Nodes implements Topology.
+func (d *Dragonfly) Nodes() int { return d.n }
+
+// Groups returns the group count.
+func (d *Dragonfly) Groups() int { return d.g }
+
+// RoutersPerGroup returns the per-group router count.
+func (d *Dragonfly) RoutersPerGroup() int { return d.a }
+
+// NumLinks implements Topology: node↔router pairs, the per-group all-to-all
+// local mesh, and one directed global link per ordered group pair.
+func (d *Dragonfly) NumLinks() int {
+	return 2*d.n + d.g*d.a*(d.a-1) + d.g*(d.g-1)
+}
+
+// routerOf returns the router ordinal (machine-wide) of a compute node.
+func (d *Dragonfly) routerOf(node int) int { return node / d.p }
+
+// groupOf returns the group of a router ordinal.
+func (d *Dragonfly) groupOf(router int) int { return router / d.a }
+
+// routerVertex returns the vertex id of a router ordinal.
+func (d *Dragonfly) routerVertex(router int) int { return d.n + router }
+
+// gateway returns the router ordinal in group grp that owns the global link
+// toward peer group, spreading the g-1 peers round-robin over the a routers.
+func (d *Dragonfly) gateway(grp, peer int) int {
+	ord := peer
+	if peer > grp {
+		ord--
+	}
+	return grp*d.a + ord%d.a
+}
+
+// Link indices, in order: up (node→router) [0,n), down (router→node) [n,2n),
+// local (router→router within a group), then global (group→group).
+func (d *Dragonfly) upLink(node int) int   { return node }
+func (d *Dragonfly) downLink(node int) int { return d.n + node }
+
+// localLink indexes the directed local link between routers i and j of the
+// same group (i, j are per-group ordinals, i != j).
+func (d *Dragonfly) localLink(grp, i, j int) int {
+	col := j
+	if j > i {
+		col--
+	}
+	return 2*d.n + grp*d.a*(d.a-1) + i*(d.a-1) + col
+}
+
+// globalLink indexes the directed global link from group i to group j.
+func (d *Dragonfly) globalLink(i, j int) int {
+	col := j
+	if j > i {
+		col--
+	}
+	return 2*d.n + d.g*d.a*(d.a-1) + i*(d.g-1) + col
+}
+
+// Link implements Topology.
+func (d *Dragonfly) Link(idx int) (from, to int) {
+	localBase := 2 * d.n
+	globalBase := localBase + d.g*d.a*(d.a-1)
+	switch {
+	case idx < 0 || idx >= d.NumLinks():
+		panic(fmt.Sprintf("machine: dragonfly link index %d out of range [0,%d)", idx, d.NumLinks()))
+	case idx < d.n:
+		return idx, d.routerVertex(d.routerOf(idx))
+	case idx < localBase:
+		node := idx - d.n
+		return d.routerVertex(d.routerOf(node)), node
+	case idx < globalBase:
+		r := idx - localBase
+		grp := r / (d.a * (d.a - 1))
+		r %= d.a * (d.a - 1)
+		i := r / (d.a - 1)
+		j := r % (d.a - 1)
+		if j >= i {
+			j++
+		}
+		return d.routerVertex(grp*d.a + i), d.routerVertex(grp*d.a + j)
+	default:
+		r := idx - globalBase
+		i := r / (d.g - 1)
+		j := r % (d.g - 1)
+		if j >= i {
+			j++
+		}
+		return d.routerVertex(d.gateway(i, j)), d.routerVertex(d.gateway(j, i))
+	}
+}
+
+// Distance implements Topology, mirroring AppendRoute's hop classes.
+func (d *Dragonfly) Distance(a, b int) int {
+	if a == b {
+		return 0
+	}
+	ra, rb := d.routerOf(a), d.routerOf(b)
+	if ra == rb {
+		return 2
+	}
+	ga, gb := d.groupOf(ra), d.groupOf(rb)
+	if ga == gb {
+		return 3
+	}
+	hops := 3 // up, global, down
+	if d.gateway(ga, gb) != ra {
+		hops++
+	}
+	if d.gateway(gb, ga) != rb {
+		hops++
+	}
+	return hops
+}
+
+// AppendRoute implements Topology: minimal routing through the group
+// gateways.
+func (d *Dragonfly) AppendRoute(dst []int, a, b int) []int {
+	if a == b {
+		return dst
+	}
+	ra, rb := d.routerOf(a), d.routerOf(b)
+	dst = append(dst, d.upLink(a))
+	if ra != rb {
+		ga, gb := d.groupOf(ra), d.groupOf(rb)
+		if ga == gb {
+			dst = append(dst, d.localLink(ga, ra-ga*d.a, rb-ga*d.a))
+		} else {
+			gwa, gwb := d.gateway(ga, gb), d.gateway(gb, ga)
+			if ra != gwa {
+				dst = append(dst, d.localLink(ga, ra-ga*d.a, gwa-ga*d.a))
+			}
+			dst = append(dst, d.globalLink(ga, gb))
+			if gwb != rb {
+				dst = append(dst, d.localLink(gb, gwb-gb*d.a, rb-gb*d.a))
+			}
+		}
+	}
+	return append(dst, d.downLink(b))
+}

@@ -1,0 +1,123 @@
+package machine
+
+import "fmt"
+
+// FatTree is a two-level fat tree: compute nodes attach to leaf switches,
+// leaf switches cross-connect through a spine layer. Routing is minimal
+// with deterministic destination-mod-k spine selection (the classic D-mod-k
+// scheme), so same-leaf traffic stays two hops and cross-leaf traffic is
+// four: node→leaf→spine→leaf→node.
+//
+// Vertices: nodes [0, n), leaves [n, n+L), spines [n+L, n+L+S).
+type FatTree struct {
+	n      int // compute nodes
+	radix  int // nodes per leaf switch
+	leaves int
+	spines int
+}
+
+// fatTreeLeafRadix is the default leaf-switch downlink count; partitions
+// smaller than one leaf collapse to a single switch.
+const fatTreeLeafRadix = 16
+
+// NewFatTree builds a fat tree over n compute nodes (a power of two). The
+// spine layer is half-width (L/2 spines, minimum 1): a 2:1 taper, typical
+// of real deployments and exactly the kind of machine-shape question the
+// seam exists to ask.
+func NewFatTree(n int) *FatTree {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("machine: fat-tree node count %d is not a positive power of two", n))
+	}
+	radix := fatTreeLeafRadix
+	if n < radix {
+		radix = n
+	}
+	leaves := n / radix
+	spines := 0
+	if leaves > 1 {
+		spines = leaves / 2
+		if spines < 1 {
+			spines = 1
+		}
+	}
+	return &FatTree{n: n, radix: radix, leaves: leaves, spines: spines}
+}
+
+// Name implements Topology.
+func (f *FatTree) Name() string { return "fattree" }
+
+// Nodes implements Topology.
+func (f *FatTree) Nodes() int { return f.n }
+
+// Leaves returns the leaf-switch count.
+func (f *FatTree) Leaves() int { return f.leaves }
+
+// Spines returns the spine-switch count.
+func (f *FatTree) Spines() int { return f.spines }
+
+// NumLinks implements Topology: node↔leaf pairs plus leaf↔spine pairs,
+// both directions.
+func (f *FatTree) NumLinks() int {
+	return 2*f.n + 2*f.leaves*f.spines
+}
+
+// leafOf returns the leaf ordinal of a compute node.
+func (f *FatTree) leafOf(node int) int { return node / f.radix }
+
+// leafVertex returns the vertex id of leaf ordinal l.
+func (f *FatTree) leafVertex(l int) int { return f.n + l }
+
+// spineVertex returns the vertex id of spine ordinal s.
+func (f *FatTree) spineVertex(s int) int { return f.n + f.leaves + s }
+
+// Link indices, in order: up (node→leaf) [0,n), down (leaf→node) [n,2n),
+// leaf-up (leaf→spine) [2n, 2n+L*S), spine-down (spine→leaf) onward.
+func (f *FatTree) upLink(node int) int        { return node }
+func (f *FatTree) downLink(node int) int      { return f.n + node }
+func (f *FatTree) leafUpLink(l, s int) int    { return 2*f.n + l*f.spines + s }
+func (f *FatTree) spineDownLink(s, l int) int { return 2*f.n + f.leaves*f.spines + s*f.leaves + l }
+
+// Link implements Topology.
+func (f *FatTree) Link(idx int) (from, to int) {
+	switch {
+	case idx < 0 || idx >= f.NumLinks():
+		panic(fmt.Sprintf("machine: fat-tree link index %d out of range [0,%d)", idx, f.NumLinks()))
+	case idx < f.n:
+		return idx, f.leafVertex(f.leafOf(idx))
+	case idx < 2*f.n:
+		node := idx - f.n
+		return f.leafVertex(f.leafOf(node)), node
+	case idx < 2*f.n+f.leaves*f.spines:
+		r := idx - 2*f.n
+		return f.leafVertex(r / f.spines), f.spineVertex(r % f.spines)
+	default:
+		r := idx - 2*f.n - f.leaves*f.spines
+		return f.spineVertex(r / f.leaves), f.leafVertex(r % f.leaves)
+	}
+}
+
+// Distance implements Topology: 0 same node, 2 same leaf, 4 across spines.
+func (f *FatTree) Distance(a, b int) int {
+	switch {
+	case a == b:
+		return 0
+	case f.leafOf(a) == f.leafOf(b):
+		return 2
+	default:
+		return 4
+	}
+}
+
+// AppendRoute implements Topology: up, (spine crossing), down, with the
+// spine chosen as destination mod spine count.
+func (f *FatTree) AppendRoute(dst []int, a, b int) []int {
+	if a == b {
+		return dst
+	}
+	la, lb := f.leafOf(a), f.leafOf(b)
+	if la == lb {
+		return append(dst, f.upLink(a), f.downLink(b))
+	}
+	s := b % f.spines
+	return append(dst, f.upLink(a), f.leafUpLink(la, s), f.spineDownLink(s, lb), f.downLink(b))
+}

@@ -1,0 +1,122 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Placement is the rank→node mapping seam. On the real machines the mapping
+// file (TXYZ, XYZT, ...) decides which ranks share a node and how far apart
+// communicating ranks sit on the fabric, which shifts both torus contention
+// and pset membership; here it is a first-class policy.
+//
+// Every policy fills each node with exactly RanksPerNode ranks, so pset
+// population (and therefore ION load) stays uniform; what changes is which
+// ranks land together.
+type Placement interface {
+	// Name is the policy's registry tag ("txyz", "xyzt", ...).
+	Name() string
+	// NodeOf returns the compute node of a rank in [0, ranks).
+	NodeOf(rank int) int
+}
+
+// tablePlacement is a precomputed rank→node table; all policies compile to
+// one so NodeOf stays a single load on hot paths.
+type tablePlacement struct {
+	name string
+	node []int
+}
+
+func (p *tablePlacement) Name() string        { return p.name }
+func (p *tablePlacement) NodeOf(rank int) int { return p.node[rank] }
+
+// placements maps policy names to table builders over (ranks, nodes,
+// ranksPerNode, seed).
+var placements = map[string]func(ranks, nodes, rpn int, seed uint64) []int{
+	// txyz is the Blue Gene default mapping this repo has always simulated:
+	// ranks fill a node's cores before moving to the next node, so a node's
+	// rpn ranks are consecutive.
+	"txyz": func(ranks, nodes, rpn int, _ uint64) []int {
+		return buildTable(ranks, func(r int) int { return r / rpn })
+	},
+	// xyzt cycles ranks across nodes first: consecutive ranks land on
+	// consecutive nodes, wrapping every nodes ranks.
+	"xyzt": func(ranks, nodes, rpn int, _ uint64) []int {
+		return buildTable(ranks, func(r int) int { return r % nodes })
+	},
+	// blocked is block-cyclic with half-node blocks (max(1, rpn/2)): pairs
+	// of ranks stay together but node fills interleave, a middle ground
+	// between txyz and xyzt.
+	"blocked": func(ranks, nodes, rpn int, _ uint64) []int {
+		blk := rpn / 2
+		if blk < 1 {
+			blk = 1
+		}
+		return buildTable(ranks, func(r int) int { return (r / blk) % nodes })
+	},
+	// roundrobin deals ranks to nodes like cards. On this repo's row-major
+	// tori it lands on the same table as xyzt (both are rank mod nodes); it
+	// is registered separately because the two differ on machines whose
+	// node numbering is not row-major.
+	"roundrobin": func(ranks, nodes, rpn int, _ uint64) []int {
+		return buildTable(ranks, func(r int) int { return r % nodes })
+	},
+	// random applies a seeded Fisher–Yates shuffle to the txyz assignment:
+	// capacity per node is preserved, locality is destroyed. The shuffle
+	// draws from its own xrand stream — never the machine RNG, whose split
+	// order is pinned by the determinism goldens.
+	"random": func(ranks, nodes, rpn int, seed uint64) []int {
+		perm := xrand.New(seed | 1).Perm(ranks)
+		return buildTable(ranks, func(r int) int { return perm[r] / rpn })
+	},
+}
+
+func buildTable(ranks int, nodeOf func(rank int) int) []int {
+	t := make([]int, ranks)
+	for r := range t {
+		t[r] = nodeOf(r)
+	}
+	return t
+}
+
+// PlacementNames returns the valid Config.Placement values, sorted.
+func PlacementNames() []string { return sortedKeys(placements) }
+
+// ValidatePlacement checks that name is a registered policy ("" counts: it
+// selects the default). Drivers use it to reject a bad -map before any
+// simulation is built.
+func ValidatePlacement(name string) error {
+	if _, ok := placements[name]; !ok && name != "" {
+		return &UnknownPlacementError{Name: name, Known: PlacementNames()}
+	}
+	return nil
+}
+
+// NewPlacement builds the named rank→node policy. The empty name selects
+// txyz (the Blue Gene default). seed only affects the "random" policy.
+// Unknown names fail with a typed *UnknownPlacementError.
+func NewPlacement(name string, ranks, nodes, rpn int, seed uint64) (Placement, error) {
+	if name == "" {
+		name = "txyz"
+	}
+	fn, ok := placements[name]
+	if !ok {
+		return nil, &UnknownPlacementError{Name: name, Known: PlacementNames()}
+	}
+	if ranks != nodes*rpn {
+		return nil, fmt.Errorf("machine: placement %q: %d ranks != %d nodes * %d ranks/node", name, ranks, nodes, rpn)
+	}
+	return &tablePlacement{name: name, node: fn(ranks, nodes, rpn, seed)}, nil
+}
+
+// UnknownPlacementError reports a Config.Placement value that names no
+// registered policy.
+type UnknownPlacementError struct {
+	Name  string
+	Known []string
+}
+
+func (e *UnknownPlacementError) Error() string {
+	return fmt.Sprintf("machine: unknown placement %q (valid: %s)", e.Name, joinNames(e.Known))
+}

@@ -1,0 +1,103 @@
+package machine_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	. "repro/internal/machine"
+
+	_ "repro/internal/bgp" // registers the Blue Gene presets under test
+)
+
+// TestLookupDefault checks that the empty name resolves to the Intrepid
+// preset (registered by the bgp package's init, pulled in by the blank
+// import above — which is why this file is an external test package: bgp
+// imports machine, so an in-package test importing bgp would be a cycle).
+func TestLookupDefault(t *testing.T) {
+	d, err := Lookup("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != DefaultMachine {
+		t.Fatalf("default machine %q, want %q", d.Name, DefaultMachine)
+	}
+	cfg := d.Config(1024)
+	if cfg.Ranks != 1024 || cfg.RanksPerNode != 4 || cfg.NodesPerPset != 64 {
+		t.Fatalf("intrepid config: %+v", cfg)
+	}
+}
+
+// TestLookupAlias checks alias resolution.
+func TestLookupAlias(t *testing.T) {
+	d, err := Lookup("bluegenel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "bgl" {
+		t.Fatalf("alias resolved to %q", d.Name)
+	}
+}
+
+// TestUnknownMachine checks the typed error and that its message lists the
+// valid presets.
+func TestUnknownMachine(t *testing.T) {
+	_, err := Lookup("cray")
+	var ue *UnknownMachineError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error %v is not *UnknownMachineError", err)
+	}
+	if ue.Name != "cray" {
+		t.Fatalf("error name %q", ue.Name)
+	}
+	for _, want := range []string{"intrepid", "bgl", "fattree", "dragonfly"} {
+		found := false
+		for _, k := range ue.Known {
+			if k == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("known set %v missing %q", ue.Known, want)
+		}
+		if !strings.Contains(ue.Error(), want) {
+			t.Fatalf("error message %q does not list %q", ue.Error(), want)
+		}
+	}
+}
+
+// TestDuplicateRegistrationPanics checks the registry's wiring-bug guard for
+// names, aliases, and name/alias collisions.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	mustPanic := func(what string, d Descriptor) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", what)
+			}
+		}()
+		Register(d)
+	}
+	cfg := func(ranks int) Config { return Config{} }
+	mustPanic("duplicate name", Descriptor{Name: "intrepid", Config: cfg})
+	mustPanic("name colliding with alias", Descriptor{Name: "bluegenel", Config: cfg})
+	mustPanic("alias colliding with name", Descriptor{Name: "zz-test", Aliases: []string{"bgl"}, Config: cfg})
+	mustPanic("empty name", Descriptor{Config: cfg})
+	mustPanic("nil config", Descriptor{Name: "zz-test2"})
+}
+
+// TestMachinesSorted checks the listing used by error messages and -machine
+// docs is sorted and alias-free.
+func TestMachinesSorted(t *testing.T) {
+	names := Machines()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("listing not sorted: %v", names)
+		}
+	}
+	for _, n := range names {
+		if n == "bluegenel" {
+			t.Fatal("alias leaked into Machines()")
+		}
+	}
+}

@@ -24,8 +24,8 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/bgp"
 	"repro/internal/data"
+	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -54,7 +54,7 @@ func DefaultConfig() Config {
 
 // World is an MPI job: one rank per core of the machine partition.
 type World struct {
-	M   *bgp.Machine
+	M   *machine.Machine
 	K   *sim.Kernel
 	cfg Config
 
@@ -94,7 +94,7 @@ type splitEntry struct {
 }
 
 // NewWorld creates the MPI runtime over a machine.
-func NewWorld(m *bgp.Machine, cfg Config) *World {
+func NewWorld(m *machine.Machine, cfg Config) *World {
 	w := &World{
 		M:        m,
 		K:        m.K,
@@ -221,8 +221,8 @@ type sendHook struct {
 // tie-break is preserved bit for bit.
 func (h *sendHook) Fire() {
 	w := h.w
-	injDone := w.M.Torus.Inject(h.localDone, h.srcNode, h.buf.Len())
-	arrival := w.M.Torus.Transfer(injDone, h.srcNode, h.dst.node, h.buf.Len())
+	injDone := w.M.Net.Inject(h.localDone, h.srcNode, h.buf.Len())
+	arrival := w.M.Net.Transfer(injDone, h.srcNode, h.dst.node, h.buf.Len())
 	msg := w.getMsg()
 	*msg = message{src: h.src, tag: h.tag, comm: h.comm, buf: h.buf, dst: h.dst}
 	w.K.AtHook(arrival, msg)
@@ -431,8 +431,8 @@ func (c *Comm) isend(r *Rank, dst, tag int, buf data.Buf) (doneAt, start float64
 	dstWorld := c.members[dst]
 	dstRank := r.w.ranks[dstWorld]
 	// Physical movement: DMA injection, then the torus.
-	injDone := r.w.M.Torus.Inject(localDone, r.node, buf.Len())
-	arrival := r.w.M.Torus.Transfer(injDone, r.node, dstRank.node, buf.Len())
+	injDone := r.w.M.Net.Inject(localDone, r.node, buf.Len())
+	arrival := r.w.M.Net.Transfer(injDone, r.node, dstRank.node, buf.Len())
 	msg := r.w.getMsg()
 	*msg = message{src: r.id, tag: tag, comm: c.id, buf: buf, dst: dstRank}
 	r.w.K.AtHook(arrival, msg)

@@ -25,7 +25,7 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/bgp"
+	"repro/internal/machine"
 
 	"repro/internal/data"
 	"repro/internal/fsys"
@@ -110,7 +110,7 @@ func Open(c *mpi.Comm, r *mpi.Rank, fs fsys.System, path string, create bool, hi
 // across psets (e.g. rbIO's writers, one per group) therefore gets an
 // aggregator per rank, not one per 32 — the behaviour the paper relies on
 // when it observes rbIO nf=1 performing like coIO nf=1.
-func chooseAggregators(c *mpi.Comm, m *bgp.Machine, ratio int) []int {
+func chooseAggregators(c *mpi.Comm, m *machine.Machine, ratio int) []int {
 	quota := m.RanksPerPset() / ratio
 	if quota < 1 {
 		quota = 1

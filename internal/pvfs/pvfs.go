@@ -28,8 +28,8 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/bgp"
 	"repro/internal/fsys"
+	"repro/internal/machine"
 	"repro/internal/storage"
 )
 
@@ -120,7 +120,7 @@ type FileSystem struct {
 var _ fsys.System = (*FileSystem)(nil)
 
 // New mounts a PVFS volume on the machine.
-func New(m *bgp.Machine, cfg Config) (*FileSystem, error) {
+func New(m *machine.Machine, cfg Config) (*FileSystem, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -155,7 +155,7 @@ func New(m *bgp.Machine, cfg Config) (*FileSystem, error) {
 }
 
 // MustNew is New, panicking on error.
-func MustNew(m *bgp.Machine, cfg Config) *FileSystem {
+func MustNew(m *machine.Machine, cfg Config) *FileSystem {
 	fs, err := New(m, cfg)
 	if err != nil {
 		panic(err)
@@ -167,7 +167,7 @@ func MustNew(m *bgp.Machine, cfg Config) *FileSystem {
 func (fs *FileSystem) Config() Config { return fs.cfg }
 
 func init() {
-	fsys.Register("pvfs", func(m *bgp.Machine, opt fsys.MountOptions) (fsys.System, error) {
+	fsys.Register("pvfs", func(m *machine.Machine, opt fsys.MountOptions) (fsys.System, error) {
 		cfg := DefaultConfig()
 		if opt.Quiet {
 			cfg.NoiseProb = 0

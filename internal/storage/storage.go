@@ -38,11 +38,11 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/bgp"
 	"repro/internal/data"
 	"repro/internal/fabric"
 	"repro/internal/fault"
 	"repro/internal/fsys"
+	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -159,7 +159,7 @@ type DataPath interface {
 // Core is one mounted file system model: the shared mechanism plus the
 // backend's policies. It implements fsys.System.
 type Core struct {
-	m   *bgp.Machine
+	m   *machine.Machine
 	cfg Config
 
 	name string
@@ -272,7 +272,7 @@ func (f *File) Stream(client int, bw float64) *fabric.Pipe {
 // New mounts a file system model on the machine: the mechanism from cfg,
 // the policies from the backend. The RNG split order (metadata stream, then
 // one stream per server) is part of the determinism contract.
-func New(m *bgp.Machine, cfg Config, b Backend) (*Core, error) {
+func New(m *machine.Machine, cfg Config, b Backend) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -321,7 +321,7 @@ func New(m *bgp.Machine, cfg Config, b Backend) (*Core, error) {
 func (c *Core) Name() string { return c.name }
 
 // Machine returns the machine the file system is mounted on.
-func (c *Core) Machine() *bgp.Machine { return c.m }
+func (c *Core) Machine() *machine.Machine { return c.m }
 
 // Kernel returns the simulation kernel.
 func (c *Core) Kernel() *sim.Kernel { return c.m.K }
