@@ -41,6 +41,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		quiet     = flag.Bool("quiet", false, "disable the shared-storage noise model")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "experiment worker-pool size (1 = serial); results are identical at any setting")
+		shards    = flag.Int("shards", 0, "partitioned-kernel lane workers inside each simulation (0 or 1 = serial kernel); results are identical at any setting")
 		fsName    = flag.String("fs", "gpfs", "storage backend for checkpoint experiments: gpfs, pvfs, bbuf (fscompare, drainoverlap and the GPFS-knob ablations/priorwork pick their own backends)")
 		machName  = flag.String("machine", "", "machine preset for checkpoint experiments: intrepid (default), bgl, fattree, dragonfly (priorwork pins its own machines)")
 		mapName   = flag.String("map", "", "rank->node placement policy override: txyz (machine default), xyzt, blocked, roundrobin, random")
@@ -70,6 +71,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "invalid -shards %d (want >= 0; 0 or 1 = serial kernel)\n", *shards)
+		os.Exit(2)
+	}
 	if _, ok := exp.LookupExperiment(*which); !ok && *which != "all" {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: all, list", *which)
 		for _, d := range exp.Experiments() {
@@ -83,6 +88,7 @@ func main() {
 		exp.Seed(*seed),
 		exp.Backend(backend),
 		exp.Parallel(*parallel),
+		exp.Shards(*shards),
 		exp.Machine(*machName),
 		exp.Map(*mapName),
 	}

@@ -176,7 +176,7 @@ func (pl *rbPlan) writeWorkerTo(env *Env, r *mpi.Rank, cp *Checkpoint, writer in
 		p.Sleep(d)
 		perceived += d
 	}
-	rec := p.Kernel().Recorder()
+	rec := p.Rec()
 	for fi, f := range cp.Fields {
 		t0 := r.Now()
 		req := pl.group.Isend(r, writer, fieldTag(cp.Step, fi), f.Data)
@@ -287,7 +287,7 @@ func (pl *rbPlan) writeWorker(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, err
 	p := r.Proc()
 	start := r.Now()
 	perceived := 0.0
-	rec := p.Kernel().Recorder()
+	rec := p.Rec()
 	for fi, f := range cp.Fields {
 		t0 := r.Now()
 		req := pl.group.Isend(r, 0, fieldTag(cp.Step, fi), f.Data)

@@ -58,15 +58,10 @@ type World struct {
 	K   *sim.Kernel
 	cfg Config
 
-	ranks      []*Rank
-	world      *Comm
-	nextCommID int
-	splitReg   map[splitKey]*splitEntry
-	barriers   map[splitKey]*barrierState
-	values     map[splitKey]*valueEntry
-	msgPool    []*message  // free list of consumed messages
-	sendPool   []*sendHook // free list of fired send hooks
-	wakePool   []*wakeHook // free list of fired wake hooks
+	ranks  []*Rank
+	world  *Comm
+	shared *laneMPI   // registries and pools for serial and exclusive-lane use
+	lanes  []*laneMPI // per-pset resource sets; nil unless the kernel is pset-sharded
 
 	// rec caches the kernel's trace recorder at world construction. Every
 	// instrumentation point below guards on it being non-nil, which is the
@@ -93,16 +88,51 @@ type splitEntry struct {
 	comms map[int64]*Comm // color -> communicator
 }
 
+// laneMPI is one execution context's slice of the runtime's mutable state:
+// collective registries (splits, barriers, shared values), a communicator-id
+// namespace, the object pools, and a fabric routing port. The serial kernel
+// and the exclusive lane use the world's single shared set; under a
+// pset-partitioned kernel every pset additionally gets a private set, so
+// operations on pset-local communicators touch no globally shared structure
+// and their lanes may run concurrently.
+type laneMPI struct {
+	splitReg   map[splitKey]*splitEntry
+	barriers   map[splitKey]*barrierState
+	values     map[splitKey]*valueEntry
+	nextCommID int
+	msgPool    []*message    // free list of consumed messages
+	sendPool   []*sendHook   // free list of fired send hooks
+	wakePool   []*wakeHook   // free list of fired wake hooks
+	port       *machine.Port // lane-private route scratch; nil on the shared set
+	safe       bool          // pset's internal routes touch no other pset's links
+}
+
+func newLaneMPI() *laneMPI {
+	return &laneMPI{
+		splitReg:   make(map[splitKey]*splitEntry),
+		barriers:   make(map[splitKey]*barrierState),
+		values:     make(map[splitKey]*valueEntry),
+		nextCommID: 1,
+	}
+}
+
 // NewWorld creates the MPI runtime over a machine.
 func NewWorld(m *machine.Machine, cfg Config) *World {
 	w := &World{
-		M:        m,
-		K:        m.K,
-		cfg:      cfg,
-		splitReg: make(map[splitKey]*splitEntry),
-		barriers: make(map[splitKey]*barrierState),
-		values:   make(map[splitKey]*valueEntry),
-		rec:      m.K.Recorder(),
+		M:      m,
+		K:      m.K,
+		cfg:    cfg,
+		shared: newLaneMPI(),
+		rec:    m.K.Recorder(),
+	}
+	if m.K.Sharded() && m.K.NumPartitions() == m.NumPsets() {
+		safe := m.RouteSafePsets()
+		w.lanes = make([]*laneMPI, m.NumPsets())
+		for p := range w.lanes {
+			w.lanes[p] = newLaneMPI()
+			w.lanes[p].safe = safe[p]
+			w.lanes[p].port = m.Net.NewPort()
+		}
 	}
 	w.ranks = make([]*Rank, m.Cfg.Ranks)
 	members := make([]int, m.Cfg.Ranks)
@@ -114,9 +144,69 @@ func NewWorld(m *machine.Machine, cfg Config) *World {
 		}
 		members[i] = i
 	}
-	w.world = &Comm{w: w, id: 0, members: members, ident: true}
-	w.nextCommID = 1
+	part := w.commPart(members)
+	w.world = &Comm{w: w, id: 0, members: members, ident: true, part: part, lane: w.laneOK(part)}
 	return w
+}
+
+// commPart returns the pset every member of a prospective communicator
+// lives in, or -1 when the group spans psets or the kernel is not
+// pset-sharded.
+func (w *World) commPart(members []int) int {
+	if w.lanes == nil || len(members) == 0 {
+		return -1
+	}
+	p := w.M.PsetOfRank(members[0])
+	for _, m := range members[1:] {
+		if w.M.PsetOfRank(m) != p {
+			return -1
+		}
+	}
+	return p
+}
+
+// laneOK reports whether a communicator confined to pset part may run its
+// operations on that pset's lane: the pset's internal routes must be
+// link-disjoint from every other pset's (machine.RouteSafePsets).
+func (w *World) laneOK(part int) bool {
+	return part >= 0 && w.lanes[part].safe
+}
+
+// regFor returns the resource set owning communicator c's registries and
+// id namespace. A lane communicator's registries are touched only by its
+// own pset's ranks — on that pset's lane or on the exclusive lane, never
+// from two lanes at once — so the per-communicator choice is deterministic
+// and race-free.
+func (w *World) regFor(c *Comm) *laneMPI {
+	if c.lane {
+		return w.lanes[c.part]
+	}
+	return w.shared
+}
+
+// poolFor returns the object pool for p's current execution context. The
+// pools are plain free lists — an object taken from one may be returned to
+// another — so only freedom from races matters, and a process on a running
+// lane is the only code touching that lane's pool.
+func (w *World) poolFor(p *sim.Proc) *laneMPI {
+	if w.lanes != nil && p.OnLane() {
+		return w.lanes[p.Part()]
+	}
+	return w.shared
+}
+
+// laneCommShift namespaces communicator ids minted by lane-local splits:
+// lane p mints (p+1)<<32 | n while the shared namespace counts from 1, so
+// ids stay unique and deterministic without cross-lane coordination.
+const laneCommShift = 32
+
+func (ln *laneMPI) newCommID(part int) int {
+	id := ln.nextCommID
+	ln.nextCommID++
+	if part >= 0 {
+		return (part+1)<<laneCommShift | id
+	}
+	return id
 }
 
 // Size returns the number of ranks.
@@ -130,9 +220,13 @@ func (w *World) Comm() *Comm { return w.world }
 func (w *World) Run(body func(c *Comm, r *Rank)) error {
 	for _, r := range w.ranks {
 		r := r
-		r.proc = w.K.Go(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
-			body(w.world, r)
-		})
+		name := fmt.Sprintf("rank%d", r.id)
+		fn := func(p *sim.Proc) { body(w.world, r) }
+		if w.lanes != nil {
+			r.proc = w.K.GoPart(w.M.PsetOfRank(r.id), name, fn)
+		} else {
+			r.proc = w.K.Go(name, fn)
+		}
 	}
 	return w.K.Run()
 }
@@ -179,21 +273,22 @@ type message struct {
 // the (pooled) message itself makes scheduling a delivery allocation-free.
 func (m *message) Fire() { m.dst.deliver(m) }
 
-// getMsg takes a message from the world's free list; Recv returns consumed
-// messages with putMsg. The pool turns the per-send message+closure garbage
-// — millions of objects per simulation — into a handful of live objects.
-func (w *World) getMsg() *message {
-	if n := len(w.msgPool); n > 0 {
-		m := w.msgPool[n-1]
-		w.msgPool = w.msgPool[:n-1]
+// getMsg takes a message from the context's free list; Recv returns
+// consumed messages with putMsg. The pool turns the per-send message+closure
+// garbage — millions of objects per simulation — into a handful of live
+// objects.
+func (ln *laneMPI) getMsg() *message {
+	if n := len(ln.msgPool); n > 0 {
+		m := ln.msgPool[n-1]
+		ln.msgPool = ln.msgPool[:n-1]
 		return m
 	}
 	return &message{}
 }
 
-func (w *World) putMsg(m *message) {
+func (ln *laneMPI) putMsg(m *message) {
 	*m = message{}
-	w.msgPool = append(w.msgPool, m)
+	ln.msgPool = append(ln.msgPool, m)
 }
 
 // sendHook performs a blocking send's physical movement — DMA injection,
@@ -208,6 +303,8 @@ type sendHook struct {
 	srcNode   int
 	dst       *Rank
 	localDone float64
+	resume    float64 // localDone - fire time, precomputed at post time
+	port      *machine.Port
 	src       int
 	tag       int
 	comm      int
@@ -218,23 +315,33 @@ type sendHook struct {
 // inline after its overhead sleep: inject, route, schedule the delivery, then
 // schedule its own resume at local completion. Each step draws its sequence
 // number at the same instant as the inline code did, so every same-timestamp
-// tie-break is preserved bit for bit.
+// tie-break is preserved bit for bit. The resume delay is precomputed — the
+// hook always fires exactly at the send-call instant, so localDone minus the
+// clock is a constant the poster already knows, and not reading the clock
+// here keeps the hook correct on a partition lane.
 func (h *sendHook) Fire() {
 	w := h.w
-	injDone := w.M.Net.Inject(h.localDone, h.srcNode, h.buf.Len())
-	arrival := w.M.Net.Transfer(injDone, h.srcNode, h.dst.node, h.buf.Len())
-	msg := w.getMsg()
+	var injDone, arrival float64
+	if h.port != nil {
+		injDone = h.port.Inject(h.localDone, h.srcNode, h.buf.Len())
+		arrival = h.port.Transfer(injDone, h.srcNode, h.dst.node, h.buf.Len())
+	} else {
+		injDone = w.M.Net.Inject(h.localDone, h.srcNode, h.buf.Len())
+		arrival = w.M.Net.Transfer(injDone, h.srcNode, h.dst.node, h.buf.Len())
+	}
+	msg := w.poolFor(h.dst.proc).getMsg()
 	*msg = message{src: h.src, tag: h.tag, comm: h.comm, buf: h.buf, dst: h.dst}
-	w.K.AtHook(arrival, msg)
-	h.sender.UnparkAfter(h.localDone - w.K.Now())
+	w.K.AtHookCtx(h.dst.proc, arrival, msg)
+	h.sender.UnparkAfter(h.resume)
+	pool := w.poolFor(h.sender)
 	*h = sendHook{}
-	w.sendPool = append(w.sendPool, h)
+	pool.sendPool = append(pool.sendPool, h)
 }
 
-func (w *World) getSendHook() *sendHook {
-	if n := len(w.sendPool); n > 0 {
-		h := w.sendPool[n-1]
-		w.sendPool = w.sendPool[:n-1]
+func (ln *laneMPI) getSendHook() *sendHook {
+	if n := len(ln.sendPool); n > 0 {
+		h := ln.sendPool[n-1]
+		ln.sendPool = ln.sendPool[:n-1]
 		return h
 	}
 	return &sendHook{}
@@ -253,19 +360,26 @@ type wakeHook struct {
 
 func (h *wakeHook) Fire() {
 	h.p.UnparkAfter(h.d)
-	w := h.w
+	pool := h.w.poolFor(h.p)
 	*h = wakeHook{}
-	w.wakePool = append(w.wakePool, h)
+	pool.wakePool = append(pool.wakePool, h)
 }
 
-func (w *World) getWakeHook() *wakeHook {
-	if n := len(w.wakePool); n > 0 {
-		h := w.wakePool[n-1]
-		w.wakePool = w.wakePool[:n-1]
+func (ln *laneMPI) getWakeHook() *wakeHook {
+	if n := len(ln.wakePool); n > 0 {
+		h := ln.wakePool[n-1]
+		ln.wakePool = ln.wakePool[:n-1]
 		return h
 	}
 	return &wakeHook{}
 }
+
+// timeoutHook adapts a closure to sim.Hook for the receive-deadline timer,
+// so the timer can be scheduled on the calendar of the receiver's own
+// execution context.
+type timeoutHook func()
+
+func (f timeoutHook) Fire() { f() }
 
 type recvWant struct {
 	src      int // world rank or AnySource
@@ -289,10 +403,10 @@ func (r *Rank) deliver(m *message) {
 		r.want.got = m
 		r.want = nil
 		cfg := r.w.cfg
-		h := r.w.getWakeHook()
+		h := r.w.poolFor(r.proc).getWakeHook()
 		*h = wakeHook{w: r.w, p: r.proc,
 			d: cfg.RecvOverhead + float64(m.buf.Len())/cfg.LocalCopyBW}
-		r.w.K.AfterHook(0, h)
+		r.w.K.AfterHookCtx(r.proc, 0, h)
 		return
 	}
 	r.inbox = append(r.inbox, m)
@@ -339,12 +453,12 @@ type Request struct {
 
 // Wait blocks until the operation completes locally.
 func (req *Request) Wait(p *sim.Proc) {
-	k := p.Kernel()
-	rec := k.Recorder()
+	rec := p.Rec()
 	if rec == nil {
 		p.SleepUntil(req.doneAt)
 		return
 	}
+	k := p.Kernel()
 	t0 := p.Now()
 	prev := k.SetLayer(trace.LayerMPI)
 	p.SleepUntil(req.doneAt)
@@ -362,6 +476,46 @@ type Comm struct {
 	id      int
 	members []int // world ranks; index == comm rank
 	ident   bool  // members[i] == i: comm rank equals world rank
+
+	// part is the single pset all members live in, -1 when the group spans
+	// psets or the kernel is not pset-sharded. lane marks a communicator
+	// whose whole traffic may be priced on that pset's partition lane
+	// (part >= 0 and the pset's routes are link-disjoint from every other
+	// pset's). Message matching is per communicator, so the lane/shared
+	// choice is made once per communicator, never per message — all traffic
+	// of one communicator flows through one context.
+	part int
+	lane bool
+}
+
+// enter opens the shared section a non-lane operation must run in: any
+// communicator that spans psets (or whose pset shares fabric links with
+// another) keeps its matching state, registries, and fabric traffic on the
+// globally-ordered exclusive lane. Lane communicators skip it, and on a
+// serial kernel it only bumps a counter. Every enter pairs with an exit;
+// nested sections (a collective built from sends and receives) collapse
+// into the outermost one.
+func (c *Comm) enter(r *Rank) {
+	if !c.lane {
+		r.proc.EnterShared()
+	}
+}
+
+func (c *Comm) exit(r *Rank) {
+	if !c.lane {
+		r.proc.ExitShared()
+	}
+}
+
+// port returns the lane-private fabric port for a lane communicator, nil
+// for traffic priced on the shared engine. A lane communicator's port is
+// also safe from the exclusive lane (no window runs concurrently with
+// exclusive code), so the choice is static per communicator.
+func (c *Comm) port() *machine.Port {
+	if c.lane {
+		return c.w.lanes[c.part].port
+	}
+	return nil
 }
 
 // isIdent reports whether members is the identity mapping, letting the
@@ -415,6 +569,7 @@ func (c *Comm) isend(r *Rank, dst, tag int, buf data.Buf) (doneAt, start float64
 	if r.w.rec != nil {
 		prevLayer = r.w.K.SetLayer(trace.LayerMPI)
 	}
+	c.enter(r)
 	start = r.Now()
 	cfg := r.w.cfg
 	// The call itself costs the software overhead.
@@ -430,16 +585,24 @@ func (c *Comm) isend(r *Rank, dst, tag int, buf data.Buf) (doneAt, start float64
 
 	dstWorld := c.members[dst]
 	dstRank := r.w.ranks[dstWorld]
-	// Physical movement: DMA injection, then the torus.
-	injDone := r.w.M.Net.Inject(localDone, r.node, buf.Len())
-	arrival := r.w.M.Net.Transfer(injDone, r.node, dstRank.node, buf.Len())
-	msg := r.w.getMsg()
+	// Physical movement: DMA injection, then the fabric.
+	var injDone, arrival float64
+	if p := c.port(); p != nil {
+		injDone = p.Inject(localDone, r.node, buf.Len())
+		arrival = p.Transfer(injDone, r.node, dstRank.node, buf.Len())
+	} else {
+		injDone = r.w.M.Net.Inject(localDone, r.node, buf.Len())
+		arrival = r.w.M.Net.Transfer(injDone, r.node, dstRank.node, buf.Len())
+	}
+	msg := r.w.poolFor(r.proc).getMsg()
 	*msg = message{src: r.id, tag: tag, comm: c.id, buf: buf, dst: dstRank}
-	r.w.K.AtHook(arrival, msg)
+	r.w.K.AtHookCtx(dstRank.proc, arrival, msg)
+	c.exit(r)
 	if r.w.rec != nil {
-		r.w.rec.Span(trace.LayerMPI, "mpi.isend", r.id, start, localDone, buf.Len())
-		r.w.rec.Add(trace.LayerMPI, "mpi.msgs", 1)
-		r.w.rec.Add(trace.LayerMPI, "mpi.bytes", buf.Len())
+		rec := r.proc.Rec()
+		rec.Span(trace.LayerMPI, "mpi.isend", r.id, start, localDone, buf.Len())
+		rec.Add(trace.LayerMPI, "mpi.msgs", 1)
+		rec.Add(trace.LayerMPI, "mpi.bytes", buf.Len())
 		r.w.K.SetLayer(prevLayer)
 	}
 	return localDone, start
@@ -460,27 +623,59 @@ func (c *Comm) Send(r *Rank, dst, tag int, buf data.Buf) {
 		prevLayer = r.w.K.SetLayer(trace.LayerMPI)
 		t0 = r.Now()
 	}
+	if !c.lane && r.w.lanes != nil {
+		c.sendShared(r, dst, tag, buf)
+	} else {
+		cfg := r.w.cfg
+		tCall := r.Now() + cfg.SendOverhead
+		copyStart := tCall
+		if r.sendBusyUntil > copyStart {
+			copyStart = r.sendBusyUntil
+		}
+		localDone := copyStart + float64(buf.Len())/cfg.LocalCopyBW
+		r.sendBusyUntil = localDone
+		h := r.w.poolFor(r.proc).getSendHook()
+		*h = sendHook{
+			w: r.w, sender: r.proc, srcNode: r.node, dst: r.w.ranks[c.members[dst]],
+			localDone: localDone, resume: localDone - tCall, port: c.port(),
+			src: r.id, tag: tag, comm: c.id, buf: buf,
+		}
+		r.w.K.AtHookCtx(r.proc, tCall, h)
+		r.proc.Park() // the hook resumes us at localDone
+	}
+	if r.w.rec != nil {
+		rec := r.proc.Rec()
+		rec.Span(trace.LayerMPI, "mpi.send", r.id, t0, r.Now(), buf.Len())
+		rec.Add(trace.LayerMPI, "mpi.msgs", 1)
+		rec.Add(trace.LayerMPI, "mpi.bytes", buf.Len())
+		r.w.K.SetLayer(prevLayer)
+	}
+}
+
+// sendShared is the blocking send for communicators kept on the exclusive
+// lane. The sendHook exists to let a serial Send yield exactly once; a
+// cross-pset send under a partitioned kernel must suspend into a shared
+// section anyway, so it performs the identical arithmetic inline, at the
+// identical simulated instants the serial hook fires at — overhead end,
+// buffer handoff, injection, traversal, delivery, local completion.
+func (c *Comm) sendShared(r *Rank, dst, tag int, buf data.Buf) {
+	r.proc.EnterShared()
 	cfg := r.w.cfg
-	tCall := r.Now() + cfg.SendOverhead
-	copyStart := tCall
+	r.proc.Sleep(cfg.SendOverhead)
+	copyStart := r.Now()
 	if r.sendBusyUntil > copyStart {
 		copyStart = r.sendBusyUntil
 	}
 	localDone := copyStart + float64(buf.Len())/cfg.LocalCopyBW
 	r.sendBusyUntil = localDone
-	h := r.w.getSendHook()
-	*h = sendHook{
-		w: r.w, sender: r.proc, srcNode: r.node, dst: r.w.ranks[c.members[dst]],
-		localDone: localDone, src: r.id, tag: tag, comm: c.id, buf: buf,
-	}
-	r.w.K.AtHook(tCall, h)
-	r.proc.Park() // the hook resumes us at localDone
-	if r.w.rec != nil {
-		r.w.rec.Span(trace.LayerMPI, "mpi.send", r.id, t0, r.Now(), buf.Len())
-		r.w.rec.Add(trace.LayerMPI, "mpi.msgs", 1)
-		r.w.rec.Add(trace.LayerMPI, "mpi.bytes", buf.Len())
-		r.w.K.SetLayer(prevLayer)
-	}
+	dstRank := r.w.ranks[c.members[dst]]
+	injDone := r.w.M.Net.Inject(localDone, r.node, buf.Len())
+	arrival := r.w.M.Net.Transfer(injDone, r.node, dstRank.node, buf.Len())
+	msg := r.w.poolFor(r.proc).getMsg()
+	*msg = message{src: r.id, tag: tag, comm: c.id, buf: buf, dst: dstRank}
+	r.w.K.AtHookCtx(dstRank.proc, arrival, msg)
+	r.proc.SleepUntil(localDone)
+	r.proc.ExitShared()
 }
 
 // RecvRequest is an outstanding non-blocking receive posted with Irecv.
@@ -526,6 +721,7 @@ func (c *Comm) Recv(r *Rank, src, tag int) (data.Buf, int) {
 		}
 		srcWorld = c.members[src]
 	}
+	c.enter(r)
 	want := &recvWant{src: srcWorld, tag: tag, comm: c.id}
 	var got *message
 	// First match against already-arrived messages, in arrival order.
@@ -541,19 +737,21 @@ func (c *Comm) Recv(r *Rank, src, tag int) (data.Buf, int) {
 		r.proc.Park() // deliver's wakeHook resumes us past overhead and copy
 		got = want.got
 		buf, srcWorld := got.buf, got.src
-		r.w.putMsg(got)
+		r.w.poolFor(r.proc).putMsg(got)
+		c.exit(r)
 		if r.w.rec != nil {
-			r.w.rec.Span(trace.LayerMPI, "mpi.recv", r.id, t0, r.Now(), buf.Len())
+			r.proc.Rec().Span(trace.LayerMPI, "mpi.recv", r.id, t0, r.Now(), buf.Len())
 			r.w.K.SetLayer(prevLayer)
 		}
 		return buf, c.rankOfWorld(srcWorld)
 	}
 	cfg := r.w.cfg
 	buf, srcWorld := got.buf, got.src
-	r.w.putMsg(got) // consumed: back to the pool before yielding
+	r.w.poolFor(r.proc).putMsg(got) // consumed: back to the pool before yielding
 	r.proc.Sleep(cfg.RecvOverhead + float64(buf.Len())/cfg.LocalCopyBW)
+	c.exit(r)
 	if r.w.rec != nil {
-		r.w.rec.Span(trace.LayerMPI, "mpi.recv", r.id, t0, r.Now(), buf.Len())
+		r.proc.Rec().Span(trace.LayerMPI, "mpi.recv", r.id, t0, r.Now(), buf.Len())
 		r.w.K.SetLayer(prevLayer)
 	}
 	return buf, c.rankOfWorld(srcWorld)
@@ -583,6 +781,7 @@ func (c *Comm) RecvTimeout(r *Rank, src, tag int, timeout float64) (data.Buf, in
 		}
 		srcWorld = c.members[src]
 	}
+	c.enter(r)
 	want := &recvWant{src: srcWorld, tag: tag, comm: c.id}
 	var got *message
 	for i, m := range r.inbox {
@@ -594,7 +793,7 @@ func (c *Comm) RecvTimeout(r *Rank, src, tag int, timeout float64) (data.Buf, in
 	}
 	if got == nil {
 		r.want = want
-		r.w.K.After(timeout, func() {
+		r.w.K.AfterHookCtx(r.proc, timeout, timeoutHook(func() {
 			// Only cancel if this exact receive is still posted: the pointer
 			// compare keeps a stale timer from touching a later receive.
 			if r.want == want {
@@ -602,30 +801,33 @@ func (c *Comm) RecvTimeout(r *Rank, src, tag int, timeout float64) (data.Buf, in
 				want.timedOut = true
 				r.proc.Unpark()
 			}
-		})
+		}))
 		r.proc.Park()
 		if want.timedOut {
+			c.exit(r)
 			if r.w.rec != nil {
-				r.w.rec.Span(trace.LayerMPI, "mpi.recv.timeout", r.id, t0, r.Now(), 0)
+				r.proc.Rec().Span(trace.LayerMPI, "mpi.recv.timeout", r.id, t0, r.Now(), 0)
 				r.w.K.SetLayer(prevLayer)
 			}
 			return data.Buf{}, -1, false
 		}
 		got = want.got
 		buf, srcWorld := got.buf, got.src
-		r.w.putMsg(got)
+		r.w.poolFor(r.proc).putMsg(got)
+		c.exit(r)
 		if r.w.rec != nil {
-			r.w.rec.Span(trace.LayerMPI, "mpi.recv", r.id, t0, r.Now(), buf.Len())
+			r.proc.Rec().Span(trace.LayerMPI, "mpi.recv", r.id, t0, r.Now(), buf.Len())
 			r.w.K.SetLayer(prevLayer)
 		}
 		return buf, c.rankOfWorld(srcWorld), true
 	}
 	cfg := r.w.cfg
 	buf, srcWorld := got.buf, got.src
-	r.w.putMsg(got)
+	r.w.poolFor(r.proc).putMsg(got)
 	r.proc.Sleep(cfg.RecvOverhead + float64(buf.Len())/cfg.LocalCopyBW)
+	c.exit(r)
 	if r.w.rec != nil {
-		r.w.rec.Span(trace.LayerMPI, "mpi.recv", r.id, t0, r.Now(), buf.Len())
+		r.proc.Rec().Span(trace.LayerMPI, "mpi.recv", r.id, t0, r.Now(), buf.Len())
 		r.w.K.SetLayer(prevLayer)
 	}
 	return buf, c.rankOfWorld(srcWorld), true
@@ -672,23 +874,26 @@ func (c *Comm) Barrier(r *Rank) {
 		t0 = r.Now()
 	}
 	c.mustRank(r)
+	c.enter(r)
+	reg := c.w.regFor(c)
 	seq := bump(&r.collSeq, c.id)
 	key := splitKey{parent: c.id, seq: seq}
-	st, ok := c.w.barriers[key]
+	st, ok := reg.barriers[key]
 	if !ok {
 		st = &barrierState{}
-		c.w.barriers[key] = st
+		reg.barriers[key] = st
 	}
 	st.arrived++
 	if st.arrived == n {
-		delete(c.w.barriers, key) // complete; reclaim
+		delete(reg.barriers, key) // complete; reclaim
 		st.done.Fire()
 	} else {
 		st.done.Wait(r.proc)
 	}
 	r.proc.Sleep(HWBarrierLatency)
+	c.exit(r)
 	if r.w.rec != nil {
-		r.w.rec.Span(trace.LayerMPI, "mpi.barrier", r.id, t0, r.Now(), 0)
+		r.proc.Rec().Span(trace.LayerMPI, "mpi.barrier", r.id, t0, r.Now(), 0)
 		r.w.K.SetLayer(prevLayer)
 	}
 }
@@ -749,19 +954,23 @@ func (c *Comm) BcastValueSized(r *Rank, root int, v any, size int64) any {
 	if len(c.members) == 1 {
 		return v
 	}
+	c.enter(r)
+	reg := c.w.regFor(c)
 	key := splitKey{parent: c.id, seq: peekSeq(r.collSeq, c.id)} // Bcast below consumes this seq
 	if c.mustRank(r) == root {
-		c.w.values[key] = &valueEntry{v: v}
+		reg.values[key] = &valueEntry{v: v}
 		c.Bcast(r, root, data.Synthetic(size))
+		c.exit(r)
 		return v
 	}
 	c.Bcast(r, root, data.Synthetic(size))
-	e := c.w.values[key]
+	e := reg.values[key]
 	out := e.v
 	e.readers++
 	if e.readers == len(c.members)-1 {
-		delete(c.w.values, key)
+		delete(reg.values, key)
 	}
+	c.exit(r)
 	return out
 }
 
@@ -780,17 +989,20 @@ func (c *Comm) Shared(r *Rank, compute func() any) any {
 	if len(c.members) == 1 {
 		return compute()
 	}
+	c.enter(r)
+	reg := c.w.regFor(c)
 	seq := bump(&r.collSeq, c.id)
 	key := splitKey{parent: c.id, seq: seq}
-	e, ok := c.w.values[key]
+	e, ok := reg.values[key]
 	if !ok {
 		e = &valueEntry{v: compute()}
-		c.w.values[key] = e
+		reg.values[key] = e
 	}
 	e.readers++
 	if e.readers == len(c.members) {
-		delete(c.w.values, key)
+		delete(reg.values, key)
 	}
+	c.exit(r)
 	return e.v
 }
 
@@ -964,9 +1176,15 @@ func (c *Comm) Split(r *Rank, color int64, key int64) *Comm {
 	colors := c.AllgatherInt64(r, color)
 	keys := c.AllgatherInt64(r, key)
 
+	c.enter(r)
+	reg := c.w.regFor(c)
+	regPart := -1
+	if c.lane {
+		regPart = c.part
+	}
 	seq := bump(&r.splitCount, c.id)
 	sk := splitKey{parent: c.id, seq: seq}
-	entry, ok := c.w.splitReg[sk]
+	entry, ok := reg.splitReg[sk]
 	if !ok {
 		entry = &splitEntry{comms: make(map[int64]*Comm)}
 		// Build every child communicator deterministically: colors sorted.
@@ -1000,11 +1218,15 @@ func (c *Comm) Split(r *Rank, color int64, key int64) *Comm {
 			// membership). The paper's strategies only split with
 			// key == parent rank, where the two orderings coincide.
 			sort.Ints(members)
-			entry.comms[col] = &Comm{w: c.w, id: c.w.nextCommID, members: members, ident: isIdent(members)}
-			c.w.nextCommID++
+			part := c.w.commPart(members)
+			entry.comms[col] = &Comm{
+				w: c.w, id: reg.newCommID(regPart), members: members,
+				ident: isIdent(members), part: part, lane: c.w.laneOK(part),
+			}
 		}
-		c.w.splitReg[sk] = entry
+		reg.splitReg[sk] = entry
 	}
+	c.exit(r)
 	return entry.comms[color]
 }
 

@@ -2,6 +2,8 @@ package nekcem
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/ckpt"
 	"repro/internal/data"
@@ -158,11 +160,19 @@ func Run(w *mpi.World, fs fsys.System, cfg RunConfig) (*RunResult, error) {
 	np := w.Size()
 	res := &RunResult{PerRank: make([]RankCkpt, np)}
 	env := &ckpt.Env{FS: fs, Dir: cfg.Dir, Log: cfg.Log, RankUp: cfg.RankUp, PeerTimeout: cfg.PeerTimeout}
+	// Ranks on different partition lanes of a sharded kernel run on
+	// different OS threads; everything they merge into across ranks is
+	// guarded by one mutex. Every merged quantity commutes (min/max,
+	// integer sums), so the aggregate is identical whatever order lanes
+	// reach it in.
+	var mu sync.Mutex
 	var firstErr error
 	fail := func(err error) {
+		mu.Lock()
 		if firstErr == nil {
 			firstErr = err
 		}
+		mu.Unlock()
 	}
 
 	// Mesh input files pre-exist on the file system.
@@ -266,7 +276,7 @@ func Run(w *mpi.World, fs fsys.System, cfg RunConfig) (*RunResult, error) {
 				}
 				stats, err := plan.Write(env, r, cp)
 				if rec != nil {
-					rec.Span(trace.LayerCkpt, "ckpt.step", r.ID(), ct0, r.Now(), cp.TotalBytes())
+					p.Rec().Span(trace.LayerCkpt, "ckpt.step", r.ID(), ct0, r.Now(), cp.TotalBytes())
 					w.M.K.SetLayer(prevLayer)
 				}
 				if err != nil {
@@ -285,6 +295,7 @@ func Run(w *mpi.World, fs fsys.System, cfg RunConfig) (*RunResult, error) {
 					// workers.
 					stats.DeadRank = true
 				}
+				mu.Lock()
 				agg, ok := aggs[cp.Step]
 				if !ok {
 					agg = &CkptAgg{Step: cp.Step, Start: stats.Start}
@@ -292,6 +303,7 @@ func Run(w *mpi.World, fs fsys.System, cfg RunConfig) (*RunResult, error) {
 					order = append(order, cp.Step)
 				}
 				mergeStats(agg, stats)
+				mu.Unlock()
 				res.PerRank[r.ID()] = RankCkpt{Role: stats.Role, Blocked: stats.Blocked(), Perceived: stats.Perceived}
 			}
 		}
@@ -305,6 +317,10 @@ func Run(w *mpi.World, fs fsys.System, cfg RunConfig) (*RunResult, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
+	// Serially, steps are first reached in ascending order; under a sharded
+	// kernel lanes may reach a step's aggregate in any real-time order, so
+	// sort to pin the serial presentation.
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 	for _, stepIdx := range order {
 		res.Checkpoints = append(res.Checkpoints, aggs[stepIdx])
 	}

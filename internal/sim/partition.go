@@ -1,0 +1,1125 @@
+// Partitioned parallel dispatch: a conservative (CMB-style) sharded mode
+// for the kernel.
+//
+// EnableSharding splits the kernel into partitions — by convention one per
+// pset, the unit the machine model's I/O tree already isolates — each with
+// its own calendar queue, sequence counter, clock, and xrand stream.
+// Events whose effects stay inside one partition (intra-pset MPI traffic,
+// same-node wakeups, per-rank compute) live in that partition's calendar
+// and are dispatched by parallel lane workers inside conservative windows.
+// Everything that touches shared simulation state — storage, collectives,
+// cross-pset fabric transfers — runs on a single globally-ordered
+// "exclusive" lane backed by the kernel's original calendar, entered by
+// processes through EnterShared/ExitShared.
+//
+// Ordering model. Every event carries a key (t, part, localSeq) packed
+// into its sequence word (see partShift): the exclusive lane's events keep
+// part bits of zero, so the untouched eventLess comparator already yields
+// the sharded tie-break order, and serial mode is bit-for-bit the
+// historical kernel. The coordinator alternates two phases:
+//
+//   - Exclusive: while the globally minimal key belongs to the shared
+//     calendar or to a suspended shared section, dispatch exactly in key
+//     order, one item at a time, with the same baton protocol as the
+//     serial kernel. This reproduces the serial kernel's semantics for
+//     every event that can observe shared state.
+//
+//   - Window: when the minimal key is a partition-local event, all lanes
+//     with work below bound = min(G + L, next exclusive key) run in
+//     parallel, where G is the global minimum and L the machine-derived
+//     lookahead (the minimum virtual latency any cross-partition effect
+//     pays). Lane events of different partitions touch disjoint state, so
+//     their relative order is unobservable; within a lane the order is
+//     exactly the serial projection.
+//
+// A process that reaches shared state from a lane (EnterShared) suspends
+// its whole lane and re-runs on the exclusive lane at its segment-origin
+// key — the position where the serial kernel would have dispatched the
+// same code — which is what makes sharded runs byte-identical to serial
+// ones (pinned by goldens in internal/exp). Cross-partition events posted
+// from lane context travel through typed, timestamped mailboxes (Post) and
+// must be at least the lookahead in the future; the exclusive lane may
+// address any partition directly because all lanes are quiescent there.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// partShift packs a partition tag into bits [40,56) of an event's sequence
+// word, below the trace-layer bits. Partition p's events carry tag p+1, so
+// the exclusive lane (tag 0) wins timestamp ties — and the serial kernel's
+// plain counter, which stays far below 1<<40, is unchanged. The packing
+// means eventLess's (t, seq&seqMask) compare is (t, partition, local seq)
+// lexicographic order with no comparator change.
+const (
+	partShift = 40
+	localMask = 1<<partShift - 1
+	// maxParts bounds the partition count so the tag fits its field.
+	maxParts = 1<<(layerShift-partShift) - 1
+)
+
+// advRec is one clock-advance attribution record: a lane (or the exclusive
+// dispatcher) moved its clock to t on behalf of layer. Per-stream logs are
+// merged at the end of the run and replayed against a single global clock,
+// which restores the telescoping property — attributed layer time sums
+// exactly to the makespan — that independent per-lane clocks break.
+type advRec struct {
+	t     float64
+	layer trace.Layer
+}
+
+// pendReq is a suspended shared section: process p reached EnterShared
+// from its lane and waits to re-run on the exclusive lane at its
+// segment-origin key (t, chain) — the dispatch position where the serial
+// kernel would have executed the same code inline. node is the segment's
+// chainNode (the admission adopts it so inserts before and after the
+// suspension share one origin) and nextIdx the surviving insert rank.
+type pendReq struct {
+	t       float64
+	node    *chainNode
+	nextIdx uint64
+	p       *Proc
+}
+
+// xmsg is a typed cross-partition mailbox entry: an event posted from one
+// partition's lane into another partition, routed at the window join. The
+// origin-chain stamp is taken at Post time in the sender's context — the
+// reference kernel inserts the event there, not at the join.
+type xmsg struct {
+	to     int
+	t      float64
+	h      Hook
+	parent *chainNode
+	idx    uint64
+}
+
+// partition is one shard of the kernel: a private calendar, sequence
+// counter, clock, and RNG stream, plus the lane bookkeeping.
+type partition struct {
+	idx int
+	cal calQueue
+	seq uint64  // local sequence counter (low partShift bits of keys)
+	now float64 // lane clock: the last local event time processed
+	rng *xrand.RNG
+
+	active bool          // a lane worker is currently running this partition
+	bound  event         // lane may dispatch strictly below this key (h nil)
+	mainCh chan struct{} // baton back to the lane worker frame
+	ctx    chainCtx      // origin-chain context of the running segment
+	nsusp  int           // suspended shared sections (0 or 1)
+	pend   []pendReq // suspensions, collected by the coordinator at join
+	outbox []xmsg    // cross-partition mailbox, drained at join
+
+	procs   int // live processes owned by this partition
+	nparked int
+	reg     []*Proc
+
+	nwoken uint64
+	ndisp  uint64
+	advLog []advRec // clock-advance attributions (tracing only)
+	layer  trace.Layer
+	rec    *trace.Recorder // per-partition recorder (tracing only, lazy)
+
+	heapPos int // index in the coordinator's head heap, -1 if absent
+}
+
+// shard holds the kernel's sharded-mode state.
+type shard struct {
+	parts     []*partition
+	lookahead float64 // min virtual latency of any cross-partition effect
+	workers   int     // lane worker goroutines per window
+	inWindow  bool    // lanes are (or may be) running concurrently
+	heap      []*partition
+	pends     []pendReq  // pending shared sections, min-heap by key
+	curPart   *partition // lane running in the coordinator goroutine, if any
+	advClock  float64    // global attribution replay frontier (tracing only)
+}
+
+// Sharded reports whether the kernel runs in partitioned mode.
+func (k *Kernel) Sharded() bool { return k.sh != nil }
+
+// NumPartitions returns the partition count, 0 in serial mode.
+func (k *Kernel) NumPartitions() int {
+	if k.sh == nil {
+		return 0
+	}
+	return len(k.sh.parts)
+}
+
+// EnableSharding switches the kernel into partitioned mode with nparts
+// partitions, at most workers lane goroutines per window, and the given
+// conservative lookahead (seconds; the minimum virtual latency any
+// cross-partition effect pays, see the machine package's Lookahead). Each
+// partition gets an independent xrand stream split from seed. Must be
+// called before Run and before any process is spawned; events already
+// scheduled stay on the shared (exclusive) calendar. When a trace recorder
+// is attached the window workers are capped at one so instrumented model
+// layers may share recorders; dispatch order is identical either way.
+func (k *Kernel) EnableSharding(nparts, workers int, lookahead float64, seed uint64) {
+	if k.running {
+		panic("sim: EnableSharding while running")
+	}
+	if k.sh != nil {
+		panic("sim: EnableSharding called twice")
+	}
+	if len(k.reg) > 0 {
+		panic("sim: EnableSharding after processes were spawned")
+	}
+	if nparts < 1 || nparts > maxParts {
+		panic(fmt.Sprintf("sim: partition count %d out of range [1,%d]", nparts, maxParts))
+	}
+	if !(lookahead > 0) {
+		panic(fmt.Sprintf("sim: lookahead must be positive, got %v", lookahead))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if k.rec != nil {
+		workers = 1
+	}
+	root := xrand.New(seed)
+	sh := &shard{lookahead: lookahead, workers: workers}
+	sh.parts = make([]*partition, nparts)
+	for i := range sh.parts {
+		pt := &partition{
+			idx:     i,
+			now:     k.now,
+			rng:     root.Split(),
+			mainCh:  make(chan struct{}),
+			heapPos: -1,
+		}
+		pt.cal.init()
+		pt.ctx.initRoot()
+		sh.parts[i] = pt
+	}
+	k.ctx.initRoot()
+	k.sh = sh
+}
+
+// Lookahead returns the configured conservative lookahead, 0 when serial.
+func (k *Kernel) Lookahead() float64 {
+	if k.sh == nil {
+		return 0
+	}
+	return k.sh.lookahead
+}
+
+// PartRNG returns partition part's private xrand stream, so partitioned
+// model components can draw randomness from lane context without touching
+// a shared stream. Panics in serial mode.
+func (k *Kernel) PartRNG(part int) *xrand.RNG {
+	return k.sh.parts[part].rng
+}
+
+// PartNow returns partition part's clock — the correct notion of "now" for
+// code running on that partition's lane. Serial mode returns the kernel
+// clock.
+func (k *Kernel) PartNow(part int) float64 {
+	if k.sh == nil {
+		return k.now
+	}
+	return k.sh.parts[part].now
+}
+
+// PartRecorder returns the trace recorder lane code of partition part must
+// emit to: the partition's private recorder in sharded mode (merged
+// deterministically into the main recorder when the run ends), the
+// kernel's recorder otherwise. Nil when tracing is off.
+func (k *Kernel) PartRecorder(part int) *trace.Recorder {
+	if k.sh == nil || k.rec == nil {
+		return k.rec
+	}
+	pt := k.sh.parts[part]
+	if pt.rec == nil {
+		pt.rec = &trace.Recorder{MaxEvents: k.rec.MaxEvents}
+	}
+	return pt.rec
+}
+
+// GoPart spawns fn as a process owned by partition part: its resumes live
+// in that partition's calendar and run on its lane. In serial mode (or
+// with part < 0) it is exactly Go.
+func (k *Kernel) GoPart(part int, name string, fn func(p *Proc)) *Proc {
+	if k.sh == nil || part < 0 {
+		return k.Go(name, fn)
+	}
+	pt := k.sh.parts[part]
+	p := &Proc{k: k, part: pt, name: name, ch: make(chan struct{})}
+	pt.procs++
+	pt.reg = append(pt.reg, p)
+	go func() {
+		<-p.ch
+		fn(p)
+		p.done = true
+		pt.procs--
+		k.sdispatchEnd(p)
+	}()
+	k.AfterProc(0, p)
+	return p
+}
+
+// Post schedules h to fire at absolute time t in partition to, from lane
+// context of partition from: the typed cross-partition mailbox. The entry
+// is held in the sender's outbox and routed at the window join, so t must
+// be at least the lookahead past the sender's clock — the CMB condition
+// that makes it impossible for the target lane to have advanced past t.
+// From exclusive context (or serial mode) it degenerates to AtHookPart.
+func (k *Kernel) Post(from, to int, t float64, h Hook) {
+	if k.sh == nil {
+		k.insert(t, h)
+		return
+	}
+	src := k.sh.parts[from]
+	if !src.active {
+		k.AtHookPart(to, t, h)
+		return
+	}
+	if to == from {
+		k.insertLocal(src, t, h)
+		return
+	}
+	if t < src.now+k.sh.lookahead {
+		panic(fmt.Sprintf("sim: cross-partition post at %v violates lookahead %v from clock %v",
+			t, k.sh.lookahead, src.now))
+	}
+	parent, idx := src.ctx.stamp()
+	src.outbox = append(src.outbox, xmsg{to: to, t: t, h: h, parent: parent, idx: idx})
+}
+
+// AtHookPart schedules h at absolute time t in partition part. From the
+// partition's own lane this is a local insert; from exclusive context it
+// addresses the partition directly (all lanes are quiescent), asserting
+// the partition's clock has not passed t. Serial mode ignores part.
+func (k *Kernel) AtHookPart(part int, t float64, h Hook) {
+	if k.sh == nil {
+		k.insert(t, h)
+		return
+	}
+	k.insertLocal(k.sh.parts[part], t, h)
+}
+
+// AfterHookPart schedules h d seconds past partition part's clock.
+func (k *Kernel) AfterHookPart(part int, d float64, h Hook) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	if k.sh == nil {
+		k.insert(k.now+d, h)
+		return
+	}
+	pt := k.sh.parts[part]
+	k.insertLocal(pt, pt.now+d, h)
+}
+
+// AfterPart schedules fn d seconds past partition part's clock.
+func (k *Kernel) AfterPart(part int, d float64, fn func()) {
+	k.AfterHookPart(part, d, funcHook(fn))
+}
+
+// AtHookCtx schedules h at absolute time t on the calendar owned by the
+// execution context currently driving p: p's partition while that lane is
+// running a window (the caller then is that lane — deliveries and wakeups
+// always target objects of the partition being dispatched), the shared
+// calendar otherwise. One call site is thereby correct from lane,
+// exclusive, and serial contexts alike.
+func (k *Kernel) AtHookCtx(p *Proc, t float64, h Hook) {
+	if k.sh == nil {
+		k.insert(t, h)
+		return
+	}
+	if pt := p.part; pt != nil && pt.active {
+		k.insertLocal(pt, t, h)
+		return
+	}
+	k.insertShared(t, h)
+}
+
+// AfterHookCtx schedules h d seconds past the clock of the execution
+// context currently driving p (see AtHookCtx).
+func (k *Kernel) AfterHookCtx(p *Proc, d float64, h Hook) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	if k.sh == nil {
+		k.insert(k.now+d, h)
+		return
+	}
+	if pt := p.part; pt != nil && pt.active {
+		k.insertLocal(pt, pt.now+d, h)
+		return
+	}
+	k.insertShared(k.now+d, h)
+}
+
+// insertLocal places an event in a partition's calendar with a key packed
+// from the partition tag and its local sequence counter, stamped with the
+// origin chain of the inserting context: the partition's own running
+// segment from lane context, the exclusive segment otherwise.
+func (k *Kernel) insertLocal(pt *partition, t float64, h Hook) {
+	var parent *chainNode
+	var idx uint64
+	if pt.active {
+		parent, idx = pt.ctx.stamp()
+	} else {
+		parent, idx = k.ctx.stamp()
+	}
+	k.insertLocalKeyed(pt, t, h, parent, idx)
+}
+
+// insertLocalKeyed is insertLocal with the origin-chain stamp supplied by
+// the caller — the mailbox join route, where the stamp was taken at Post
+// time in the sender's context.
+func (k *Kernel) insertLocalKeyed(pt *partition, t float64, h Hook, parent *chainNode, idx uint64) {
+	if t < pt.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before partition %d clock %v", t, pt.idx, pt.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: scheduling event at NaN time")
+	}
+	pt.seq++
+	if pt.seq > localMask {
+		panic("sim: partition sequence counter overflow")
+	}
+	lay := k.layer
+	if pt.active {
+		lay = pt.layer
+	}
+	pt.cal.push(event{t: t, seq: pt.seq | uint64(pt.idx+1)<<partShift | uint64(lay)<<layerShift, h: h,
+		parent: parent, idx: idx})
+	if !pt.active {
+		// Exclusive context: the lane head may have moved; keep the
+		// coordinator's heap current. Lane context defers to the join.
+		k.heapFix(pt)
+	}
+}
+
+// insertShared places an event in the shared (exclusive) calendar.
+func (k *Kernel) insertShared(t float64, h Hook) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: scheduling event at NaN time")
+	}
+	if k.sh.inWindow || k.sh.curPart != nil {
+		panic("sim: un-partitioned insert from lane context; use AtHookPart or Post")
+	}
+	k.seq++
+	if k.seq > localMask {
+		panic("sim: shared sequence counter overflow")
+	}
+	parent, idx := k.ctx.stamp()
+	k.cal.push(event{t: t, seq: k.seq | uint64(k.layer)<<layerShift, h: h, parent: parent, idx: idx})
+}
+
+// insertProcSharded routes a process resume: exclusive-lane processes and
+// processes inside shared sections resume on the exclusive lane (so an
+// in-section wake — a barrier release, a commit completion — can never
+// land in a partition's past); everything else resumes in its partition.
+func (k *Kernel) insertProcSharded(t float64, p *Proc) {
+	if p.part == nil || p.sharedDepth > 0 {
+		k.insertShared(t, p)
+		return
+	}
+	k.insertLocal(p.part, t, p)
+}
+
+// ---- coordinator head heap -------------------------------------------------
+//
+// A positional binary min-heap over partitions keyed by their calendar
+// heads, so the coordinator and the exclusive fast paths find the minimal
+// partition-local key in O(1) and maintain it in O(log P). Lanes mutate
+// their own calendars during a window; the coordinator refreshes their
+// entries at the join.
+
+func (k *Kernel) heapLess(a, b *partition) bool {
+	ea, _ := a.cal.peek()
+	eb, _ := b.cal.peek()
+	return keyLess(ea, eb)
+}
+
+func (k *Kernel) heapSwap(i, j int) {
+	h := k.sh.heap
+	h[i], h[j] = h[j], h[i]
+	h[i].heapPos = i
+	h[j].heapPos = j
+}
+
+func (k *Kernel) heapUp(i int) {
+	h := k.sh.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !k.heapLess(h[i], h[parent]) {
+			break
+		}
+		k.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (k *Kernel) heapDown(i int) {
+	h := k.sh.heap
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && k.heapLess(h[l], h[small]) {
+			small = l
+		}
+		if r < len(h) && k.heapLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		k.heapSwap(i, small)
+		i = small
+	}
+}
+
+// heapFix re-sites pt after its head changed (or appeared / vanished).
+func (k *Kernel) heapFix(pt *partition) {
+	sh := k.sh
+	_, has := pt.cal.peek()
+	if pt.heapPos < 0 {
+		if !has {
+			return
+		}
+		pt.heapPos = len(sh.heap)
+		sh.heap = append(sh.heap, pt)
+		k.heapUp(pt.heapPos)
+		return
+	}
+	if !has {
+		i := pt.heapPos
+		last := len(sh.heap) - 1
+		k.heapSwap(i, last)
+		sh.heap = sh.heap[:last]
+		pt.heapPos = -1
+		if i < last {
+			k.heapDown(i)
+			k.heapUp(i)
+		}
+		return
+	}
+	k.heapDown(pt.heapPos)
+	k.heapUp(pt.heapPos)
+}
+
+// heapMin returns the minimal partition head key, if any partition has
+// pending events.
+func (k *Kernel) heapMin() (event, *partition, bool) {
+	if len(k.sh.heap) == 0 {
+		return event{}, nil, false
+	}
+	pt := k.sh.heap[0]
+	ev, _ := pt.cal.peek()
+	return ev, pt, true
+}
+
+// ---- pending shared sections ----------------------------------------------
+
+func pendLess(a, b pendReq) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return chainLess(a.node.parent, a.node.idx, b.node.parent, b.node.idx)
+}
+
+func (k *Kernel) pendPush(r pendReq) {
+	sh := k.sh
+	sh.pends = append(sh.pends, r)
+	i := len(sh.pends) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !pendLess(sh.pends[i], sh.pends[parent]) {
+			break
+		}
+		sh.pends[i], sh.pends[parent] = sh.pends[parent], sh.pends[i]
+		i = parent
+	}
+}
+
+func (k *Kernel) pendPop() pendReq {
+	sh := k.sh
+	top := sh.pends[0]
+	last := len(sh.pends) - 1
+	sh.pends[0] = sh.pends[last]
+	sh.pends = sh.pends[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && pendLess(sh.pends[l], sh.pends[small]) {
+			small = l
+		}
+		if r < last && pendLess(sh.pends[r], sh.pends[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		sh.pends[i], sh.pends[small] = sh.pends[small], sh.pends[i]
+		i = small
+	}
+	return top
+}
+
+// xMin returns the minimal exclusive-lane key: the shared calendar head or
+// the earliest pending shared section. kind: 0 none, 1 shared event,
+// 2 pending section.
+func (k *Kernel) xMin() (event, int) {
+	ev, ok := k.cal.peek()
+	kind := 0
+	if ok {
+		kind = 1
+	}
+	if len(k.sh.pends) > 0 {
+		p := k.sh.pends[0]
+		// The pend's key is its segment-origin event's key: the position
+		// where the serial kernel dispatched the resume that led here.
+		pk := event{t: p.t, parent: p.node.parent, idx: p.node.idx}
+		if kind == 0 || keyLess(pk, ev) {
+			return pk, 2
+		}
+	}
+	return ev, kind
+}
+
+// noEarlierExclusive reports whether the whole simulation holds no pending
+// item at or before t — the sharded analogue of the serial Sleep fast
+// path's single peek. Must only be called from exclusive context (lanes
+// quiescent) so the heap and pend state are stable.
+func (k *Kernel) noEarlierExclusive(t float64) bool {
+	if ev, ok := k.cal.peek(); ok && ev.t <= t {
+		return false
+	}
+	if len(k.sh.pends) > 0 && k.sh.pends[0].t <= t {
+		return false
+	}
+	if ev, _, ok := k.heapMin(); ok && ev.t <= t {
+		return false
+	}
+	return true
+}
+
+// ---- sharded run loop -------------------------------------------------------
+
+// runSharded is the coordinator: it alternates exclusive dispatch (shared
+// events and suspended sections, in exact global key order) with parallel
+// lane windows, until nothing remains within the horizon.
+func (k *Kernel) runSharded() {
+	sh := k.sh
+	// Adopt any pre-run partition inserts (process spawns).
+	for _, pt := range sh.parts {
+		k.heapFix(pt)
+	}
+	for iter := uint64(0); ; iter++ {
+		if iter&255 == 0 && k.chainMade() > chainRerootGoal {
+			// Quiescent point: no lane running, no process holding the
+			// baton. Compact the origin chains before they accumulate.
+			k.rerootChains()
+		}
+		xk, xkind := k.xMin()
+		pk, ppt, pok := k.heapMin()
+		if xkind != 0 && (!pok || !keyLess(pk, xk)) {
+			if xk.t > k.horizon {
+				return
+			}
+			if !k.stepExclusive(xkind) {
+				continue
+			}
+			// A process holds the baton; wait for it to hand back.
+			<-k.mainCh
+			continue
+		}
+		if !pok || pk.t > k.horizon {
+			return
+		}
+		if ppt.nsusp > 0 {
+			// Unreachable: a suspended lane's remaining keys all exceed
+			// its pending section's key, so the section won above.
+			panic("sim: suspended partition holds the global minimum")
+		}
+		k.runWindow(pk, xk, xkind)
+	}
+}
+
+// stepExclusive dispatches one exclusive item (the caller established it
+// is the global minimum and within the horizon). Returns true when a
+// process now holds the baton, false when the item was a plain hook fired
+// inline.
+func (k *Kernel) stepExclusive(xkind int) bool {
+	if xkind == 2 {
+		req := k.pendPop()
+		k.ctx.adopt(req.node, req.nextIdx)
+		pt := req.p.part
+		pt.nsusp--
+		// The process continues at its own (lane) clock; the window bound
+		// guaranteed no exclusive item in between, so time is monotone.
+		if pt.now > k.now {
+			k.now = pt.now
+		}
+		k.nwoken++
+		req.p.ch <- struct{}{}
+		return true
+	}
+	ev := k.cal.pop()
+	k.ctx.begin(ev.parent, ev.t, ev.idx)
+	if k.rec != nil {
+		k.observeSharded(ev)
+	}
+	k.now = ev.t
+	p, isProc := ev.h.(*Proc)
+	if !isProc {
+		ev.h.Fire()
+		return false
+	}
+	if p.done {
+		panic("sim: resuming finished process " + p.name)
+	}
+	if p.part != nil && ev.t > p.part.now {
+		// An exclusive resume moves the owning partition's clock too, so
+		// the process's later lane-local inserts are causally sound.
+		p.part.now = ev.t
+	}
+	k.nwoken++
+	p.ch <- struct{}{}
+	return true
+}
+
+// observeSharded logs an exclusive dispatch's clock-advance attribution
+// into the shared advance log (merged and replayed at the end of the run)
+// and adopts the popped event's layer, mirroring the serial observe.
+func (k *Kernel) observeSharded(ev event) {
+	lay := trace.Layer(ev.seq >> layerShift)
+	if ev.t > k.now {
+		k.advLog = append(k.advLog, advRec{t: ev.t, layer: lay})
+	}
+	k.layer = lay
+	k.ndisp++
+}
+
+// runWindow computes the conservative bound and runs every eligible lane
+// below it, then joins: drains mailboxes, collects suspensions, and
+// refreshes the head heap.
+func (k *Kernel) runWindow(pk, xk event, xkind int) {
+	sh := k.sh
+	// The zero chain stamp (parent nil, idx 0) precedes every real event
+	// at the bound's own time, so "strictly below bound" excludes it.
+	bound := event{t: pk.t + sh.lookahead}
+	if xkind != 0 && keyLess(xk, bound) {
+		bound = xk
+	}
+	if bound.t > k.horizon {
+		// The lane condition is strictly-below-bound, so nudging the cap
+		// one ulp past the horizon makes the horizon itself inclusive,
+		// matching the serial dispatch loops.
+		bound = event{t: math.Nextafter(k.horizon, math.Inf(1))}
+	}
+	var active []*partition
+	for _, pt := range sh.heap {
+		if pt.nsusp > 0 {
+			continue
+		}
+		if ev, ok := pt.cal.peek(); ok && keyLess(ev, bound) {
+			pt.bound = bound
+			active = append(active, pt)
+		}
+	}
+	if len(active) == 0 {
+		panic("sim: window with no eligible lane")
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i].idx < active[j].idx })
+	if len(active) == 1 || sh.workers == 1 {
+		for _, pt := range active {
+			sh.curPart = pt
+			k.runLane(pt)
+		}
+		sh.curPart = nil
+	} else {
+		sh.inWindow = true
+		n := sh.workers
+		if n > len(active) {
+			n = len(active)
+		}
+		done := make(chan struct{}, n)
+		for w := 0; w < n; w++ {
+			go func(w int) {
+				for i := w; i < len(active); i += n {
+					k.runLane(active[i])
+				}
+				done <- struct{}{}
+			}(w)
+		}
+		for w := 0; w < n; w++ {
+			<-done
+		}
+		sh.inWindow = false
+	}
+	// Join: route mailboxes (deterministic order: by source partition,
+	// then emission order), collect suspended sections, refresh heads.
+	for _, pt := range active {
+		for _, m := range pt.outbox {
+			k.insertLocalKeyed(sh.parts[m.to], m.t, m.h, m.parent, m.idx)
+		}
+		pt.outbox = pt.outbox[:0]
+		for _, req := range pt.pend {
+			k.pendPush(req)
+		}
+		pt.pend = pt.pend[:0]
+		k.heapFix(pt)
+	}
+}
+
+// runLane dispatches one partition's events strictly below its bound. It
+// is the lane-side analogue of dispatchMain: hooks fire inline, process
+// resumes hand the baton over and wait for it back on the lane channel.
+func (k *Kernel) runLane(pt *partition) {
+	pt.active = true
+	for pt.nsusp == 0 {
+		ev, ok := pt.cal.peek()
+		if !ok || !keyLess(ev, pt.bound) {
+			break
+		}
+		pt.cal.pop()
+		pt.ctx.begin(ev.parent, ev.t, ev.idx)
+		if k.rec != nil {
+			pt.observe(ev)
+		}
+		pt.now = ev.t
+		p, isProc := ev.h.(*Proc)
+		if !isProc {
+			ev.h.Fire()
+			continue
+		}
+		if p.done {
+			panic("sim: resuming finished process " + p.name)
+		}
+		pt.nwoken++
+		p.ch <- struct{}{}
+		<-pt.mainCh
+	}
+	pt.active = false
+}
+
+// observe is the lane-side tracing half of a dispatch: log the advance for
+// the merge replay and adopt the popped event's layer.
+func (pt *partition) observe(ev event) {
+	lay := trace.Layer(ev.seq >> layerShift)
+	if ev.t > pt.now {
+		pt.advLog = append(pt.advLog, advRec{t: ev.t, layer: lay})
+	}
+	pt.layer = lay
+	pt.ndisp++
+}
+
+// sdispatchLane continues lane dispatch from a process that yielded on its
+// lane: pop further local events below the bound, take back its own
+// resume, or hand the baton on and wait.
+func (k *Kernel) sdispatchLane(self *Proc) {
+	pt := self.part
+	for {
+		ev, ok := pt.cal.peek()
+		if !ok || !keyLess(ev, pt.bound) {
+			pt.mainCh <- struct{}{}
+			<-self.ch
+			return
+		}
+		pt.cal.pop()
+		pt.ctx.begin(ev.parent, ev.t, ev.idx)
+		if k.rec != nil {
+			pt.observe(ev)
+		}
+		pt.now = ev.t
+		p, isProc := ev.h.(*Proc)
+		if !isProc {
+			ev.h.Fire()
+			continue
+		}
+		if p == self {
+			return
+		}
+		if p.done {
+			panic("sim: resuming finished process " + p.name)
+		}
+		pt.nwoken++
+		p.ch <- struct{}{}
+		<-self.ch
+		return
+	}
+}
+
+// canExclusive reports whether the exclusive item xk may dispatch now: it
+// exists, lies within the horizon, and no partition head precedes it.
+func (k *Kernel) canExclusive(xk event, xkind int) bool {
+	if xkind == 0 || xk.t > k.horizon {
+		return false
+	}
+	pk, _, pok := k.heapMin()
+	return !pok || !keyLess(pk, xk)
+}
+
+// sdispatchX continues exclusive dispatch from a process that yielded on
+// the exclusive lane. It hands control back to the coordinator when the
+// globally minimal key is partition-local (a window is due) or everything
+// within the horizon has drained.
+func (k *Kernel) sdispatchX(self *Proc) {
+	for {
+		xk, xkind := k.xMin()
+		if !k.canExclusive(xk, xkind) {
+			k.mainCh <- struct{}{}
+			<-self.ch
+			return
+		}
+		if xkind == 2 {
+			req := k.pendPop()
+			k.ctx.adopt(req.node, req.nextIdx)
+			pt := req.p.part
+			pt.nsusp--
+			if pt.now > k.now {
+				k.now = pt.now
+			}
+			k.nwoken++
+			req.p.ch <- struct{}{}
+			<-self.ch
+			return
+		}
+		ev := k.cal.pop()
+		k.ctx.begin(ev.parent, ev.t, ev.idx)
+		if k.rec != nil {
+			k.observeSharded(ev)
+		}
+		k.now = ev.t
+		p, isProc := ev.h.(*Proc)
+		if !isProc {
+			ev.h.Fire()
+			continue
+		}
+		if p.part != nil && ev.t > p.part.now {
+			// An exclusive resume moves the owning partition's clock too —
+			// including a self-resume, or the process's own Now() would lag
+			// its kernel clock for the rest of the section.
+			p.part.now = ev.t
+		}
+		if p == self {
+			return
+		}
+		if p.done {
+			panic("sim: resuming finished process " + p.name)
+		}
+		k.nwoken++
+		p.ch <- struct{}{}
+		<-self.ch
+		return
+	}
+}
+
+// sdispatchEnd releases the baton from a process whose function returned,
+// in whichever context it ended.
+func (k *Kernel) sdispatchEnd(p *Proc) {
+	if p.part != nil && p.part.active {
+		pt := p.part
+		for {
+			ev, ok := pt.cal.peek()
+			if !ok || !keyLess(ev, pt.bound) {
+				pt.mainCh <- struct{}{}
+				return
+			}
+			pt.cal.pop()
+			pt.ctx.begin(ev.parent, ev.t, ev.idx)
+			if k.rec != nil {
+				pt.observe(ev)
+			}
+			pt.now = ev.t
+			q, isProc := ev.h.(*Proc)
+			if !isProc {
+				ev.h.Fire()
+				continue
+			}
+			if q.done {
+				panic("sim: resuming finished process " + q.name)
+			}
+			pt.nwoken++
+			q.ch <- struct{}{}
+			return
+		}
+	}
+	for {
+		xk, xkind := k.xMin()
+		if !k.canExclusive(xk, xkind) {
+			k.mainCh <- struct{}{}
+			return
+		}
+		if xkind == 2 {
+			req := k.pendPop()
+			k.ctx.adopt(req.node, req.nextIdx)
+			pt := req.p.part
+			pt.nsusp--
+			if pt.now > k.now {
+				k.now = pt.now
+			}
+			k.nwoken++
+			req.p.ch <- struct{}{}
+			return
+		}
+		ev := k.cal.pop()
+		k.ctx.begin(ev.parent, ev.t, ev.idx)
+		if k.rec != nil {
+			k.observeSharded(ev)
+		}
+		k.now = ev.t
+		q, isProc := ev.h.(*Proc)
+		if !isProc {
+			ev.h.Fire()
+			continue
+		}
+		if q.done {
+			panic("sim: resuming finished process " + q.name)
+		}
+		if q.part != nil && ev.t > q.part.now {
+			q.part.now = ev.t
+		}
+		k.nwoken++
+		q.ch <- struct{}{}
+		return
+	}
+}
+
+// finishSharded raises every clock to the run's end and, when tracing,
+// merges the per-partition recorders and advance logs into the main
+// recorder so attributed layer time again sums exactly to the makespan.
+// Safe to call after every Run/RunUntil: the replay frontier persists.
+func (k *Kernel) finishSharded() {
+	sh := k.sh
+	for _, pt := range sh.parts {
+		if pt.now > k.now {
+			k.now = pt.now
+		}
+	}
+	for _, pt := range sh.parts {
+		if pt.now < k.now {
+			pt.now = k.now
+		}
+	}
+	if k.rec == nil {
+		return
+	}
+	// Replay every advance record against one global clock, in key-order
+	// convention (exclusive stream first at ties, then partitions
+	// ascending). Each record charges its layer for the portion of global
+	// time it newly uncovered, so the totals telescope to the final clock.
+	streams := make([][]advRec, 0, len(sh.parts)+1)
+	streams = append(streams, k.advLog)
+	for _, pt := range sh.parts {
+		streams = append(streams, pt.advLog)
+	}
+	pos := make([]int, len(streams))
+	g := sh.advClock
+	for {
+		best := -1
+		for i, s := range streams {
+			if pos[i] >= len(s) {
+				continue
+			}
+			if best < 0 || s[pos[i]].t < streams[best][pos[best]].t {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		r := streams[best][pos[best]]
+		pos[best]++
+		if r.t > g {
+			k.rec.Advance(r.layer, g, r.t)
+			g = r.t
+		}
+	}
+	sh.advClock = g
+	k.advLog = k.advLog[:0]
+	recs := make([]*trace.Recorder, 0, len(sh.parts))
+	for _, pt := range sh.parts {
+		if pt.rec != nil {
+			recs = append(recs, pt.rec)
+		}
+		pt.advLog = pt.advLog[:0]
+	}
+	trace.MergeInto(k.rec, recs...)
+	for _, pt := range sh.parts {
+		pt.rec = nil
+	}
+}
+
+// ---- sharded stat aggregation ----------------------------------------------
+
+func (k *Kernel) shardedEvents() uint64 {
+	n := k.seq
+	for _, pt := range k.sh.parts {
+		n += pt.seq
+	}
+	return n
+}
+
+func (k *Kernel) shardedWoken() uint64 {
+	n := k.nwoken
+	for _, pt := range k.sh.parts {
+		n += pt.nwoken
+	}
+	return n
+}
+
+func (k *Kernel) shardedDispatched() uint64 {
+	n := k.ndisp
+	for _, pt := range k.sh.parts {
+		n += pt.ndisp
+	}
+	return n
+}
+
+func (k *Kernel) shardedPending() int {
+	n := k.cal.len()
+	for _, pt := range k.sh.parts {
+		n += pt.cal.len()
+	}
+	return n
+}
+
+// shardedDeadlock aggregates parked processes across the exclusive lane
+// and every partition, recording each process's partition.
+func (k *Kernel) shardedDeadlock() error {
+	total := k.nparked
+	for _, pt := range k.sh.parts {
+		total += pt.nparked
+	}
+	if total == 0 {
+		return nil
+	}
+	names := make([]string, 0, total)
+	parts := make(map[string]int, total)
+	for _, p := range k.reg {
+		if p.parked {
+			names = append(names, p.name)
+			parts[p.name] = -1
+		}
+	}
+	for _, pt := range k.sh.parts {
+		for _, p := range pt.reg {
+			if p.parked {
+				names = append(names, p.name)
+				parts[p.name] = pt.idx
+			}
+		}
+	}
+	sort.Strings(names)
+	partOf := make([]int, len(names))
+	for i, n := range names {
+		partOf[i] = parts[n]
+	}
+	return &DeadlockError{Procs: names, Parts: partOf}
+}

@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// shardScript runs a small partitioned model — per-partition workers that
+// sleep, exchange mailbox posts with a neighbor partition, and
+// periodically enter a shared section that appends to a global log — and
+// returns the observable history. The history must be identical for any
+// worker count and GOMAXPROCS.
+func shardScript(t *testing.T, nparts, workers int) (string, uint64, float64) {
+	t.Helper()
+	k := NewKernel()
+	const lookahead = 1e-6
+	k.EnableSharding(nparts, workers, lookahead, 42)
+	var log []string
+	record := func(p *Proc, what string) {
+		p.EnterShared()
+		log = append(log, fmt.Sprintf("%.9f %s %s", p.Now(), p.Name(), what))
+		p.ExitShared()
+	}
+	for part := 0; part < nparts; part++ {
+		part := part
+		for w := 0; w < 3; w++ {
+			w := w
+			k.GoPart(part, fmt.Sprintf("p%d.w%d", part, w), func(p *Proc) {
+				rng := k.PartRNG(part)
+				for i := 0; i < 20; i++ {
+					p.Sleep(rng.Exp(3e-7))
+					if i%5 == w%5 {
+						record(p, fmt.Sprintf("iter%d", i))
+					}
+					if w == 0 && i%7 == 0 {
+						// Cross-partition mailbox: fires on the neighbor's
+						// lane at least one lookahead in the future.
+						dst := (part + 1) % nparts
+						at := p.Now() + lookahead + 1e-7
+						k.Post(part, dst, at, funcHook(func() {}))
+					}
+				}
+			})
+		}
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return strings.Join(log, "\n"), k.Events(), k.Now()
+}
+
+func TestShardedDeterministicAcrossWorkers(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	base, baseEvents, baseNow := shardScript(t, 5, 1)
+	if base == "" {
+		t.Fatal("script produced no history")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, gotEvents, gotNow := shardScript(t, 5, workers)
+		if got != base {
+			t.Fatalf("workers=%d history diverged from workers=1", workers)
+		}
+		if gotEvents != baseEvents || gotNow != baseNow {
+			t.Fatalf("workers=%d stats diverged: events %d vs %d, now %v vs %v",
+				workers, gotEvents, baseEvents, gotNow, baseNow)
+		}
+	}
+	// And independent of GOMAXPROCS.
+	runtime.GOMAXPROCS(1)
+	got, _, _ := shardScript(t, 5, 4)
+	if got != base {
+		t.Fatal("GOMAXPROCS=1 history diverged")
+	}
+}
+
+// TestShardedSharedSectionOrder pins the exclusive lane's global ordering:
+// shared sections from different partitions must interleave in strict
+// (t, partition, local seq) key order even when lanes run concurrently.
+func TestShardedSharedSectionOrder(t *testing.T) {
+	k := NewKernel()
+	k.EnableSharding(4, 4, 1e-6, 7)
+	var order []float64
+	for part := 0; part < 4; part++ {
+		part := part
+		k.GoPart(part, fmt.Sprintf("p%d", part), func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				p.Sleep(1e-7 * float64(part+1))
+				p.EnterShared()
+				order = append(order, p.Now())
+				p.ExitShared()
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(order) != 200 {
+		t.Fatalf("expected 200 sections, got %d", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("shared sections out of time order at %d: %v after %v",
+				i, order[i], order[i-1])
+		}
+	}
+}
+
+// TestShardedMailboxLookaheadViolation pins the CMB safety net: a
+// cross-partition post closer than the lookahead must panic.
+func TestShardedMailboxLookaheadViolation(t *testing.T) {
+	k := NewKernel()
+	k.EnableSharding(2, 2, 1e-6, 1)
+	k.GoPart(0, "violator", func(p *Proc) {
+		p.Sleep(1e-7)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected lookahead violation panic")
+			}
+			// The baton must still be released or Run hangs.
+			p.EnterShared()
+			p.ExitShared()
+		}()
+		k.Post(0, 1, p.Now()+1e-9, funcHook(func() {}))
+	})
+	k.GoPart(1, "peer", func(p *Proc) { p.Sleep(5e-7) })
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestShardedDeadlockAggregation pins the satellite requirement: the
+// deadlock report must aggregate parked processes across all partitions
+// and name each one's partition.
+func TestShardedDeadlockAggregation(t *testing.T) {
+	k := NewKernel()
+	k.EnableSharding(3, 2, 1e-6, 1)
+	for part := 0; part < 3; part++ {
+		part := part
+		k.GoPart(part, fmt.Sprintf("stuck.%d", part), func(p *Proc) {
+			p.Sleep(1e-7 * float64(part+1))
+			p.Park()
+		})
+	}
+	k.Go("stuck.shared", func(p *Proc) {
+		p.Sleep(1e-9)
+		p.Park()
+	})
+	err := k.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if len(dl.Procs) != 4 || len(dl.Parts) != 4 {
+		t.Fatalf("expected 4 parked across partitions, got procs=%v parts=%v", dl.Procs, dl.Parts)
+	}
+	want := map[string]int{"stuck.0": 0, "stuck.1": 1, "stuck.2": 2, "stuck.shared": -1}
+	for i, name := range dl.Procs {
+		if dl.Parts[i] != want[name] {
+			t.Errorf("%s attributed to partition %d, want %d", name, dl.Parts[i], want[name])
+		}
+	}
+	if !strings.Contains(dl.Error(), "[part 0]") {
+		t.Errorf("error should name the partition: %q", dl.Error())
+	}
+}
+
+// TestShardedRunUntil pins horizon semantics: events at the horizon run,
+// later ones stay, and every clock lands on the horizon.
+func TestShardedRunUntil(t *testing.T) {
+	k := NewKernel()
+	k.EnableSharding(2, 2, 1e-6, 1)
+	var hits []float64
+	for part := 0; part < 2; part++ {
+		part := part
+		k.GoPart(part, fmt.Sprintf("p%d", part), func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				p.Sleep(1.0)
+				p.EnterShared()
+				hits = append(hits, p.Now())
+				p.ExitShared()
+			}
+		})
+	}
+	k.RunUntil(3.0)
+	if len(hits) != 6 {
+		t.Fatalf("expected 6 section hits by t=3, got %d (%v)", len(hits), hits)
+	}
+	if k.Now() != 3.0 {
+		t.Fatalf("clock should rest at the horizon, got %v", k.Now())
+	}
+	for part := 0; part < 2; part++ {
+		if k.PartNow(part) != 3.0 {
+			t.Fatalf("partition %d clock %v, want 3.0", part, k.PartNow(part))
+		}
+	}
+	k.RunUntil(20.0)
+	if len(hits) != 20 {
+		t.Fatalf("expected all 20 section hits, got %d", len(hits))
+	}
+}
+
+// TestSerialUnaffected pins that a serial kernel reports no sharding and
+// partition-aware APIs degrade to their serial equivalents.
+func TestSerialUnaffected(t *testing.T) {
+	k := NewKernel()
+	if k.Sharded() || k.NumPartitions() != 0 || k.Lookahead() != 0 {
+		t.Fatal("serial kernel claims sharded state")
+	}
+	fired := 0
+	k.AtHookPart(3, 1.0, funcHook(func() { fired++ }))
+	k.AfterHookPart(9, 2.0, funcHook(func() { fired++ }))
+	k.Post(1, 2, 3.0, funcHook(func() { fired++ }))
+	done := false
+	k.GoPart(5, "serial", func(p *Proc) {
+		p.EnterShared()
+		p.Sleep(4)
+		p.ExitShared()
+		if p.Part() != -1 {
+			t.Error("serial proc should report part -1")
+		}
+		done = true
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fired != 3 || !done {
+		t.Fatalf("serial degradations broken: fired=%d done=%v", fired, done)
+	}
+	if k.Now() != 4 {
+		t.Fatalf("now=%v, want 4", k.Now())
+	}
+}

@@ -1,0 +1,88 @@
+package trace
+
+// MergeInto folds the srcs' recorded data into dst deterministically: span
+// and counter aggregates accumulate (all their statistics commute), and
+// the retained timelines are k-way merged by (time, source order, record
+// order), so the merged trace is identical for any execution interleaving
+// that produced the same per-source streams. The partitioned kernel uses
+// it to fold per-partition recorders into the main one at the end of a
+// run; attributed layer time (Advance) is expected to live in dst only —
+// src layer time is still added, but the sharded kernel routes every
+// advance through its global replay, leaving src accumulators empty.
+// srcs are left untouched.
+func MergeInto(dst *Recorder, srcs ...*Recorder) {
+	if dst == nil || len(srcs) == 0 {
+		return
+	}
+	for _, src := range srcs {
+		if src == nil {
+			continue
+		}
+		for _, key := range src.spanOrder {
+			s := src.spans[key]
+			d := dst.spanStat(key.layer, key.name)
+			if d.Count == 0 || (s.Count > 0 && s.Min < d.Min) {
+				d.Min = s.Min
+			}
+			if s.Max > d.Max {
+				d.Max = s.Max
+			}
+			d.Count += s.Count
+			d.Total += s.Total
+			d.Bytes += s.Bytes
+			for i := range s.Hist {
+				d.Hist[i] += s.Hist[i]
+			}
+		}
+		for _, key := range src.counterOrder {
+			dst.bump(key.layer, key.name, src.counters[key])
+		}
+		for l := Layer(0); l < NumLayers; l++ {
+			a := &src.layerTime[l]
+			if a.sum != 0 || a.c != 0 {
+				dst.layerTime[l].add(a.sum)
+				dst.layerTime[l].add(a.c)
+			}
+		}
+		dst.dropped += src.dropped
+	}
+	// Timeline: k-way merge of dst's existing events with each source's,
+	// stable within each stream, ties broken by stream order (dst first,
+	// then srcs in argument order).
+	total := len(dst.events)
+	streams := make([][]Event, 0, len(srcs)+1)
+	streams = append(streams, dst.events)
+	for _, src := range srcs {
+		if src == nil || len(src.events) == 0 {
+			continue
+		}
+		streams = append(streams, src.events)
+		total += len(src.events)
+	}
+	if len(streams) == 1 {
+		return
+	}
+	merged := make([]Event, 0, total)
+	pos := make([]int, len(streams))
+	for {
+		best := -1
+		for i, s := range streams {
+			if pos[i] >= len(s) {
+				continue
+			}
+			if best < 0 || s[pos[i]].T < streams[best][pos[best]].T {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		merged = append(merged, streams[best][pos[best]])
+		pos[best]++
+	}
+	if cap := dst.MaxEvents; len(merged) > cap {
+		dst.dropped += uint64(len(merged) - cap)
+		merged = merged[:cap]
+	}
+	dst.events = merged
+}
