@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test check bench bench-json fig5
+.PHONY: build test check bench bench-json fig5 storm
 
 build:
 	$(GO) build ./...
@@ -31,3 +31,8 @@ bench-json:
 
 fig5:
 	BENCH_JSON=. $(GO) test -run xxx -bench Fig5Wallclock -benchtime 1x .
+
+# storm records the multi-tenant interference benchmark (BENCH_CkptStorm.json):
+# wall-clock plus the worst colliding/staggered penalties of the storm sweep.
+storm:
+	BENCH_JSON=. $(GO) test -run xxx -bench CkptStorm -benchtime 1x .

@@ -803,3 +803,37 @@ func BenchmarkMicroCollectiveWrite(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkCkptStorm measures the multi-tenant interference experiment:
+// two 1024-rank tenants sweeping alone/staggered/colliding arms across all
+// three strategy families on one shared machine, noise off so the measured
+// slowdown is pure endogenous contention. Besides the wall-clock cost, the
+// report records the experiment's headline physics — the worst colliding
+// penalty and its staggered recovery — so a regression in either the
+// scheduler or the shared-storage path shows up in the JSON trend.
+func BenchmarkCkptStorm(b *testing.B) {
+	o := opts()
+	o.Quiet = true
+	perf.TuneGC()
+	var r *exp.CkptStormResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = exp.CkptStorm(o, 1024, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	worst := r.WorstColliding()
+	b.ReportMetric(worst.CollidingPenalty, "worst-colliding-x")
+	b.ReportMetric(worst.StaggeredPenalty, "worst-staggered-x")
+	emitBench(b, "CkptStorm", perf.Benchmark{
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Extra: map[string]float64{
+			"worst_colliding_penalty_x": worst.CollidingPenalty,
+			"worst_staggered_penalty_x": worst.StaggeredPenalty,
+			"capacity_ranks":            float64(r.Capacity),
+		},
+	})
+}

@@ -16,6 +16,8 @@
 //	iobench -map xyzt        # override the rank->node placement policy
 //	iobench -trace out.json  # emit a Chrome/Perfetto trace of every run
 //	iobench -metrics         # print per-layer simulated-time and span tables
+//	iobench -exp ckptstorm -tenants 4 -np 1024       # colliding tenant checkpoints
+//	iobench -exp workload -workload jobs=6,np=256:1024,gap=1.5  # queued job mix
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/exp"
 	"repro/internal/fsys"
 	"repro/internal/machine"
@@ -46,6 +49,8 @@ func main() {
 		machName  = flag.String("machine", "", "machine preset for checkpoint experiments: intrepid (default), bgl, fattree, dragonfly (priorwork pins its own machines)")
 		mapName   = flag.String("map", "", "rank->node placement policy override: txyz (machine default), xyzt, blocked, roundrobin, random")
 		mtbf      = flag.Float64("mtbf", 6, "per-component MTBF in hours for the fault experiments (faultsweep, makespan)")
+		tenants   = flag.Int("tenants", 0, "concurrent tenant jobs for the multi-tenant experiments (ckptstorm, restartstorm); 0 = default 2")
+		workload  = flag.String("workload", "", "workload generator spec for -exp workload: key=value pairs over jobs, np (min:max), gap, steps, seed, strategy")
 		traceOut  = flag.String("trace", "", "write a Chrome/Perfetto trace_event JSON of every simulation run to this file (load at ui.perfetto.dev)")
 		metrics   = flag.Bool("metrics", false, "print per-run aggregated metrics (per-layer simulated time, counters, span stats)")
 		traceEvts = flag.Int("trace-events", 0, "per-run retained trace event cap (0 = default 1M; aggregates keep counting past the cap)")
@@ -73,6 +78,14 @@ func main() {
 	}
 	if *shards < 0 {
 		fmt.Fprintf(os.Stderr, "invalid -shards %d (want >= 0; 0 or 1 = serial kernel)\n", *shards)
+		os.Exit(2)
+	}
+	if *tenants < 0 {
+		fmt.Fprintf(os.Stderr, "invalid -tenants %d (want >= 1; 0 = default 2)\n", *tenants)
+		os.Exit(2)
+	}
+	if _, err := cluster.ParseWorkload(*workload); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if _, ok := exp.LookupExperiment(*which); !ok && *which != "all" {
@@ -107,6 +120,8 @@ func main() {
 
 	s := exp.NewSession(o, os.Stdout)
 	s.MTBF = *mtbf
+	s.Tenants = *tenants
+	s.Workload = *workload
 	for _, d := range exp.Experiments() {
 		if *which != "all" && !selects(d, *which) {
 			continue

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ckpt"
+	"repro/internal/xrand"
+)
+
+// Workload is a seeded random job mix: a Poisson-ish arrival process over
+// power-of-two job sizes with a per-job strategy draw. The same
+// (Workload, Seed) always generates the same tenants — the arrival process
+// is part of the experiment's determinism contract, like the noise and
+// fault schedules.
+type Workload struct {
+	Jobs  int     // number of tenants to generate
+	Seed  uint64  // generator stream; independent of the simulation seed
+	MinNP int     // smallest job size (rounded up to a power of two)
+	MaxNP int     // largest job size
+	Gap   float64 // mean exponential interarrival, simulated seconds
+	Steps int     // solver steps per job (0: one)
+
+	// Mix is the strategy pool jobs draw from uniformly; empty defaults to
+	// the paper's rbIO (np:ng=64:1, nf=ng).
+	Mix []ckpt.Strategy
+}
+
+// DefaultWorkload is the -workload starting point: four one-step jobs
+// between 256 and 1024 ranks arriving ~2 simulated seconds apart.
+func DefaultWorkload() Workload {
+	return Workload{Jobs: 4, Seed: 1, MinNP: 256, MaxNP: 1024, Gap: 2}
+}
+
+// Tenants generates the job list. Sizes are powers of two in
+// [MinNP, MaxNP] (uniform over the exponents), so every job is
+// node-aligned on the standard machines.
+func (wk Workload) Tenants() ([]Tenant, error) {
+	if wk.Jobs <= 0 {
+		return nil, fmt.Errorf("cluster: workload needs jobs > 0, got %d", wk.Jobs)
+	}
+	if wk.MinNP <= 0 || wk.MaxNP < wk.MinNP {
+		return nil, fmt.Errorf("cluster: workload np range %d:%d invalid", wk.MinNP, wk.MaxNP)
+	}
+	if wk.Gap < 0 {
+		return nil, fmt.Errorf("cluster: workload gap %v negative", wk.Gap)
+	}
+	loExp := ceilLog2(wk.MinNP)
+	hiExp := floorLog2(wk.MaxNP)
+	if hiExp < loExp {
+		return nil, fmt.Errorf("cluster: no power of two in np range %d:%d", wk.MinNP, wk.MaxNP)
+	}
+	mix := wk.Mix
+	if len(mix) == 0 {
+		mix = []ckpt.Strategy{ckpt.DefaultRbIO()}
+	}
+	rng := xrand.New(wk.Seed | 1)
+	ts := make([]Tenant, wk.Jobs)
+	arrival := 0.0
+	for i := range ts {
+		if i > 0 && wk.Gap > 0 {
+			arrival += rng.Exp(wk.Gap)
+		}
+		np := 1 << (loExp + rng.Intn(hiExp-loExp+1))
+		ts[i] = Tenant{
+			Name:     fmt.Sprintf("j%d", i),
+			NP:       np,
+			Strategy: mix[rng.Intn(len(mix))],
+			Arrival:  arrival,
+			Steps:    wk.Steps,
+		}
+	}
+	return ts, nil
+}
+
+func ceilLog2(n int) int {
+	e := 0
+	for 1<<e < n {
+		e++
+	}
+	return e
+}
+
+func floorLog2(n int) int {
+	e := 0
+	for 1<<(e+1) <= n {
+		e++
+	}
+	return e
+}
+
+// ParseWorkload parses the -workload flag syntax: comma-separated
+// key=value pairs over jobs, np (min:max), gap, steps, seed, strategy
+// (1pfpp|coio|rbio). Example: "jobs=6,np=256:1024,gap=1.5,seed=3".
+// Unknown keys and malformed values are errors so the CLI can exit 2.
+func ParseWorkload(spec string) (Workload, error) {
+	wk := DefaultWorkload()
+	if spec == "" {
+		return wk, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return wk, fmt.Errorf("cluster: workload term %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "jobs":
+			wk.Jobs, err = strconv.Atoi(v)
+		case "np":
+			lo, hi, ok := strings.Cut(v, ":")
+			if !ok {
+				hi = lo
+			}
+			if wk.MinNP, err = strconv.Atoi(lo); err == nil {
+				wk.MaxNP, err = strconv.Atoi(hi)
+			}
+		case "gap":
+			wk.Gap, err = strconv.ParseFloat(v, 64)
+		case "steps":
+			wk.Steps, err = strconv.Atoi(v)
+		case "seed":
+			wk.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "strategy":
+			switch v {
+			case "1pfpp":
+				wk.Mix = []ckpt.Strategy{ckpt.OnePFPP{}}
+			case "coio":
+				wk.Mix = []ckpt.Strategy{ckpt.CoIO{NumFiles: 1}}
+			case "rbio":
+				wk.Mix = []ckpt.Strategy{ckpt.DefaultRbIO()}
+			case "all":
+				wk.Mix = []ckpt.Strategy{ckpt.OnePFPP{}, ckpt.CoIO{NumFiles: 1}, ckpt.DefaultRbIO()}
+			default:
+				return wk, fmt.Errorf("cluster: workload strategy %q (valid: 1pfpp, coio, rbio, all)", v)
+			}
+		default:
+			return wk, fmt.Errorf("cluster: unknown workload key %q (valid: jobs, np, gap, steps, seed, strategy)", k)
+		}
+		if err != nil {
+			return wk, fmt.Errorf("cluster: workload %s=%q: %v", k, v, err)
+		}
+	}
+	if _, err := wk.Tenants(); err != nil {
+		return wk, err
+	}
+	return wk, nil
+}

@@ -1,0 +1,663 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/fsys"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// clusterSession is the exp-layer wiring of one multi-tenant run: the same
+// construction order as runCheckpoint (recorder, machine, sharding, backend,
+// guard) over a machine sized to host every tenant at once, plus the cluster
+// scheduler. When the tenant list collapses to one job filling the machine,
+// the composition is byte-identical to a single-tenant runCheckpoint — the
+// nt=1 goldens pin it.
+type clusterSession struct {
+	o        Options
+	K        *sim.Kernel
+	M        *machine.Machine
+	FS       fsys.System    // raw backend (fault attachment needs it)
+	Stats    *storage.Stats // live storage-core counters
+	RunFS    fsys.System    // what tenants call: Guard-wrapped when sharded
+	Rec      *trace.Recorder
+	Sess     *cluster.Session
+	Capacity int // machine size in ranks
+}
+
+// clusterCapacity sizes the shared machine for a tenant set: each tenant's
+// node demand rounds up to whole psets (allocations are pset-aligned), the
+// spans sum, and the total rounds up to the next power of two (the machine
+// contract). A single tenant whose np is already pset-aligned and a power of
+// two gets a machine of exactly np ranks — the single-tenant composition.
+func clusterCapacity(o Options, tenants []cluster.Tenant) (int, error) {
+	d, err := machine.Lookup(o.Machine)
+	if err != nil {
+		return 0, err
+	}
+	if len(tenants) == 0 {
+		return 0, fmt.Errorf("exp: cluster needs at least one tenant")
+	}
+	geo := d.Config(0) // geometry fields are np-independent
+	rpn, npp := geo.RanksPerNode, geo.NodesPerPset
+	total := 0
+	for _, t := range tenants {
+		if t.NP <= 0 || t.NP%rpn != 0 {
+			return 0, fmt.Errorf("exp: tenant %q np=%d is not a positive multiple of ranks-per-node %d", t.Name, t.NP, rpn)
+		}
+		nodes := t.NP / rpn
+		span := (nodes + npp - 1) / npp * npp
+		total += span
+	}
+	return nextPow2(total) * rpn, nil
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// newClusterSession builds the shared kernel+machine+backend for a tenant
+// set. capacityRanks <= 0 sizes the machine from the tenants; a positive
+// value pins it (ckptstorm's arms share one machine size so the hardware is
+// held fixed while the tenant mix varies). serial forces the serial kernel
+// even when Options ask for shards (queued admission, fault injection).
+func newClusterSession(o Options, tenants []cluster.Tenant, capacityRanks int, serial bool) (*clusterSession, error) {
+	if capacityRanks <= 0 {
+		var err error
+		if capacityRanks, err = clusterCapacity(o, tenants); err != nil {
+			return nil, err
+		}
+	}
+	k := sim.NewKernel()
+	var rec *trace.Recorder
+	if o.Trace != nil {
+		rec = o.Trace.newRecorder()
+	} else {
+		// Multi-tenant runs always carry a metrics-only recorder: per-tenant
+		// attribution rides the span stream, and a zero event cap keeps the
+		// memory flat. Tracing never perturbs simulated time, so attaching
+		// it unconditionally cannot move a result.
+		rec = &trace.Recorder{MaxEvents: 0}
+	}
+	k.SetRecorder(rec)
+	// Same stream derivation as runCheckpoint with capacity in place of np:
+	// a machine of the same size gets the same noise, whoever runs on it.
+	rng := xrand.New(o.seed() ^ uint64(capacityRanks)*0x9e37)
+	d, err := machine.Lookup(o.Machine)
+	if err != nil {
+		return nil, err
+	}
+	cfg := d.Config(capacityRanks)
+	if o.Map != "" {
+		cfg.Placement = o.Map
+	}
+	cfg.PlacementSeed = o.seed()
+	m, err := machine.New(k, rng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if o.Shards > 1 && !serial && m.NumPsets() > 1 {
+		k.EnableSharding(m.NumPsets(), o.Shards, m.Lookahead(), o.seed())
+	}
+	fs, stats, err := buildFS(o, m, o.FS)
+	if err != nil {
+		return nil, err
+	}
+	runFS := fs
+	if k.Sharded() {
+		runFS = fsys.Guard(fs)
+	}
+	cs := &clusterSession{
+		o: o, K: k, M: m, FS: fs, Stats: stats, RunFS: runFS,
+		Rec: rec, Sess: cluster.NewSession(m, runFS), Capacity: capacityRanks,
+	}
+	return cs, nil
+}
+
+// tenantDefaults threads the session-level placement knobs into tenants
+// that did not pin their own, mirroring buildMachine's override order.
+func (cs *clusterSession) tenantDefaults(tenants []cluster.Tenant) []cluster.Tenant {
+	out := make([]cluster.Tenant, len(tenants))
+	for i, t := range tenants {
+		if t.Placement == "" {
+			t.Placement = cs.o.Map
+		}
+		if t.PlacementSeed == 0 {
+			t.PlacementSeed = cs.o.seed()
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// launch admits tenants statically and installs per-tenant trace
+// attribution (static admission fixes every rank/pset window up front).
+func (cs *clusterSession) launch(tenants []cluster.Tenant) ([]*cluster.Job, error) {
+	jobs, err := cs.Sess.Launch(cs.tenantDefaults(tenants))
+	if err != nil {
+		return nil, err
+	}
+	cs.Rec.SetTenants(cluster.TenantRanges(jobs))
+	return jobs, nil
+}
+
+// run drives the kernel to completion and finalizes the jobs.
+func (cs *clusterSession) run(jobs []*cluster.Job) error {
+	return cluster.Collect(jobs, cs.K.Run())
+}
+
+// finish hands the recorder to the options' collector, once, after the
+// session's last phase.
+func (cs *clusterSession) finish(label string) {
+	if cs.o.Trace == nil {
+		return
+	}
+	cs.Rec.Add(trace.LayerKernel, "kernel.events", int64(cs.K.Events()))
+	cs.o.Trace.add(TraceEntry{
+		Label: label, NP: cs.Capacity, Makespan: cs.K.Now(), Rec: cs.Rec,
+	})
+}
+
+// ClusterRun is one multi-tenant session's outcome.
+type ClusterRun struct {
+	Jobs     []*cluster.Job
+	Rec      *trace.Recorder
+	Capacity int     // shared machine size in ranks
+	Makespan float64 // kernel time when the session drained
+	Events   uint64
+	FSStats  storage.Stats
+}
+
+// RunCluster hosts the tenants together on one machine and runs them to
+// completion. queued selects dynamic admission (arrive, wait for capacity,
+// place, retire — serial kernel only); otherwise every tenant is admitted up
+// front, which supports the sharded kernel and per-tenant attribution.
+func RunCluster(o Options, tenants []cluster.Tenant, queued bool) (*ClusterRun, error) {
+	cs, err := newClusterSession(o, tenants, 0, queued)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []*cluster.Job
+	if queued {
+		jobs, err = cs.Sess.LaunchQueued(cs.tenantDefaults(tenants))
+	} else {
+		jobs, err = cs.launch(tenants)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := cs.run(jobs); err != nil {
+		return nil, err
+	}
+	cs.finish("cluster")
+	return &ClusterRun{
+		Jobs: jobs, Rec: cs.Rec, Capacity: cs.Capacity,
+		Makespan: cs.K.Now(), Events: cs.K.Events(), FSStats: *cs.Stats,
+	}, nil
+}
+
+// stormTenants builds nt identical tenants of np ranks each.
+func stormTenants(np, nt int, strat ckpt.Strategy) []cluster.Tenant {
+	ts := make([]cluster.Tenant, nt)
+	for i := range ts {
+		ts[i] = cluster.Tenant{
+			Name:     fmt.Sprintf("t%d", i),
+			NP:       np,
+			Strategy: strat,
+		}
+	}
+	return ts
+}
+
+// stormStrategies are the storm's strategy arms: the paper's three headline
+// families, from the approach that hammers shared storage hardest (one file
+// per process) to the one designed to decouple from it (rbIO).
+func stormStrategies() []ckpt.Strategy {
+	return []ckpt.Strategy{
+		ckpt.OnePFPP{},
+		ckpt.CoIO{NumFiles: 1, Hints: defaultHints()},
+		ckpt.DefaultRbIO(),
+	}
+}
+
+// CkptStormRow is one tenant's measurement in one arm of the storm.
+type CkptStormRow struct {
+	Strategy    string
+	Arm         string // "alone", "staggered", "colliding"
+	Tenant      string
+	StepSec     float64
+	GBps        float64
+	Penalty     float64 // StepSec over the strategy's alone-arm StepSec
+	StorageBusy float64 // storage-layer span seconds attributed to the tenant
+	FabricBusy  float64 // fabric-layer span seconds attributed to the tenant
+}
+
+// CkptStormSummary condenses one strategy's interference outcome.
+type CkptStormSummary struct {
+	Strategy         string
+	AloneSec         float64 // baseline step time, one tenant on the idle machine
+	StaggeredPenalty float64 // worst tenant's staggered-arm slowdown
+	CollidingPenalty float64 // worst tenant's colliding-arm slowdown
+}
+
+// CkptStormResult is the endogenous-interference experiment: nt identical
+// tenants checkpoint on one machine, either colliding (all at once) or
+// staggered (spaced past each other), against a baseline tenant running
+// alone on the same hardware — once per strategy family. The paper models
+// other users as seeded noise; here the interference is endogenous, and the
+// strategy sweep shows who suffers: 1PFPP collapses when tenants collide on
+// the shared metadata and server paths, while rbIO's aggregation keeps each
+// tenant pinned to its own ION pipe and barely notices the neighbors.
+type CkptStormResult struct {
+	NP, Tenants int
+	Capacity    int
+	Rows        []CkptStormRow
+	Summaries   []CkptStormSummary
+}
+
+// WorstColliding returns the largest colliding-arm penalty across the
+// strategy sweep — the headline interference number.
+func (r *CkptStormResult) WorstColliding() CkptStormSummary {
+	worst := CkptStormSummary{}
+	for _, s := range r.Summaries {
+		if s.CollidingPenalty > worst.CollidingPenalty {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// CkptStorm runs alone/staggered/colliding arms for each strategy family.
+// Every arm builds a fresh session over a machine sized for all nt tenants,
+// so the hardware — psets, ION links, file servers — is held fixed while
+// only the checkpoint timing varies: any slowdown is endogenous contention,
+// not a smaller machine.
+func CkptStorm(o Options, np, nt int) (*CkptStormResult, error) {
+	if nt < 1 {
+		return nil, fmt.Errorf("exp: ckptstorm needs at least 1 tenant, got %d", nt)
+	}
+	capRanks, err := clusterCapacity(o, stormTenants(np, nt, nil))
+	if err != nil {
+		return nil, err
+	}
+	res := &CkptStormResult{NP: np, Tenants: nt, Capacity: capRanks}
+
+	arm := func(sname, label string, tenants []cluster.Tenant) ([]*cluster.Job, *trace.Recorder, error) {
+		cs, err := newClusterSession(o, tenants, capRanks, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		jobs, err := cs.launch(tenants)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := cs.run(jobs); err != nil {
+			return nil, nil, err
+		}
+		cs.finish("ckptstorm/" + sname + "/" + label)
+		return jobs, cs.Rec, nil
+	}
+
+	for _, strat := range stormStrategies() {
+		all := stormTenants(np, nt, strat)
+		sname := strat.Name()
+		sum := CkptStormSummary{Strategy: sname}
+		addRows := func(label string, jobs []*cluster.Job, rec *trace.Recorder) float64 {
+			worst := 0.0
+			for i, j := range jobs {
+				agg := j.Res.Checkpoints[0]
+				step := agg.StepTime()
+				pen := 0.0
+				if sum.AloneSec > 0 {
+					pen = step / sum.AloneSec
+				}
+				if pen > worst {
+					worst = pen
+				}
+				res.Rows = append(res.Rows, CkptStormRow{
+					Strategy: sname, Arm: label, Tenant: j.Tenant.Name,
+					StepSec: step, GBps: GB(agg.Bandwidth()), Penalty: pen,
+					StorageBusy: rec.TenantSpanTime(i, trace.LayerStorage),
+					FabricBusy:  rec.TenantSpanTime(i, trace.LayerFabric),
+				})
+			}
+			return worst
+		}
+
+		// Arm 1 — alone: tenant 0 on the otherwise idle capacity machine.
+		jobs, rec, err := arm(sname, "alone", all[:1])
+		if err != nil {
+			return nil, err
+		}
+		sum.AloneSec = jobs[0].Res.Checkpoints[0].StepTime()
+		addRows("alone", jobs, rec)
+
+		if nt > 1 {
+			// Arm 2 — staggered: arrivals spaced past the alone duration,
+			// so checkpoints barely overlap on the shared storage.
+			gap := 1.25 * (jobs[0].Res.Done - jobs[0].Res.Started)
+			staggered := make([]cluster.Tenant, nt)
+			for i, t := range all {
+				t.Arrival = float64(i) * gap
+				staggered[i] = t
+			}
+			sj, srec, err := arm(sname, "staggered", staggered)
+			if err != nil {
+				return nil, err
+			}
+			sum.StaggeredPenalty = addRows("staggered", sj, srec)
+
+			// Arm 3 — colliding: everyone checkpoints at t=0.
+			cj, crec, err := arm(sname, "colliding", all)
+			if err != nil {
+				return nil, err
+			}
+			sum.CollidingPenalty = addRows("colliding", cj, crec)
+		}
+		res.Summaries = append(res.Summaries, sum)
+	}
+	return res, nil
+}
+
+// Table renders the per-tenant arm measurements.
+func (r *CkptStormResult) Table() string {
+	rows := [][]string{}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Strategy, row.Arm, row.Tenant,
+			fmt.Sprintf("%.3f", row.StepSec),
+			fmt.Sprintf("%.2f", row.GBps),
+			fmt.Sprintf("%.2fx", row.Penalty),
+			fmt.Sprintf("%.2f", row.StorageBusy),
+			fmt.Sprintf("%.2f", row.FabricBusy),
+		})
+	}
+	return FormatTable(
+		[]string{"strategy", "arm", "tenant", "step (s)", "BW (GB/s)", "vs alone", "storage busy (s)", "fabric busy (s)"},
+		rows)
+}
+
+// SummaryTable renders the per-strategy interference summary.
+func (r *CkptStormResult) SummaryTable() string {
+	rows := [][]string{}
+	for _, s := range r.Summaries {
+		rows = append(rows, []string{
+			s.Strategy,
+			fmt.Sprintf("%.3f", s.AloneSec),
+			fmt.Sprintf("%.2fx", s.StaggeredPenalty),
+			fmt.Sprintf("%.2fx", s.CollidingPenalty),
+		})
+	}
+	return FormatTable([]string{"strategy", "alone step (s)", "staggered", "colliding"}, rows)
+}
+
+// RestartStormRow is one tenant's solo-vs-storm restart read.
+type RestartStormRow struct {
+	Tenant   string
+	SoloSec  float64 // re-read duration with the machine otherwise idle
+	StormSec float64 // re-read duration with every tenant reading at once
+	Penalty  float64
+}
+
+// RestartStormResult measures recovery after a system-wide outage: all
+// tenants checkpoint, every file server fails and restores (internal/fault),
+// and then every tenant re-reads its checkpoint at the same instant — the
+// restart storm that follows a real machine-wide outage.
+type RestartStormResult struct {
+	NP, Tenants  int
+	Capacity     int
+	OutageSec    float64 // how long the servers stayed down
+	Rows         []RestartStormRow
+	StormPenalty float64      // worst tenant's storm/solo slowdown
+	Makespan     float64      // kernel time when the storm drained
+	FaultCounts  fault.Counts // injector events that fired
+}
+
+// RestartStorm runs the outage scenario on one kernel across four phases:
+// write, outage, solo-read baselines, storm. Fault injection mutates shared
+// storage state, so the whole scenario runs on the serial kernel — same rule
+// as every faulted job.
+func RestartStorm(o Options, np, nt int) (*RestartStormResult, error) {
+	if nt < 1 {
+		return nil, fmt.Errorf("exp: restartstorm needs at least 1 tenant, got %d", nt)
+	}
+	tenants := stormTenants(np, nt, ckpt.DefaultRbIO())
+	cs, err := newClusterSession(o, tenants, 0, true)
+	if err != nil {
+		return nil, err
+	}
+	res := &RestartStormResult{NP: np, Tenants: nt, Capacity: cs.Capacity, OutageSec: 60}
+
+	// Phase 1 — every tenant writes its checkpoint.
+	jobs, err := cs.launch(tenants)
+	if err != nil {
+		return nil, err
+	}
+	if err := cs.run(jobs); err != nil {
+		return nil, err
+	}
+	t1 := cs.K.Now()
+
+	// Phase 2 — system-wide outage: every file server fails one second
+	// after the writes drain and restores OutageSec later. The schedule is
+	// explicit, so the scenario is exactly reproducible.
+	servers := 0
+	if sc, ok := cs.FS.(interface{ Servers() []*storage.Server }); ok {
+		servers = len(sc.Servers())
+	}
+	var sched fault.Schedule
+	for i := 0; i < servers; i++ {
+		sched = append(sched,
+			fault.Event{Time: t1 + 1, Class: fault.Server, Index: i, Kind: fault.Fail},
+			fault.Event{Time: t1 + 1 + res.OutageSec, Class: fault.Server, Index: i, Kind: fault.Restore},
+		)
+	}
+	sched.Sort()
+	inj, err := attachFaults(cs.K, cs.M, cs.FS, &FaultSpec{Schedule: sched, Seed: o.seed()})
+	if err != nil {
+		return nil, err
+	}
+	restoreAt := t1 + 1 + res.OutageSec
+
+	// Phase 3 — solo baselines: each tenant re-reads its checkpoint with
+	// the machine otherwise idle, sequentially, on its own kernel run. The
+	// first run also dispatches the outage events.
+	restartOf := func(t cluster.Tenant, at float64) cluster.Tenant {
+		t.Arrival = at
+		t.Steps = 0
+		t.RestartStep = 1
+		return t
+	}
+	solo := make([]float64, nt)
+	at := restoreAt + 1
+	for i, j := range jobs {
+		rj, err := cs.Sess.LaunchOn(j.Alloc, restartOf(cs.tenantDefaults(tenants)[i], at))
+		if err != nil {
+			return nil, err
+		}
+		if err := cluster.Collect([]*cluster.Job{rj}, cs.K.Run()); err != nil {
+			return nil, err
+		}
+		if !rj.Res.Restored {
+			return nil, fmt.Errorf("exp: restartstorm solo read of %q did not restore", rj.Tenant.Name)
+		}
+		solo[i] = rj.Res.Done - rj.Res.Started
+		at = cs.K.Now() + 1
+	}
+
+	// Phase 4 — the storm: every tenant re-reads at the same instant on the
+	// nodes that wrote its checkpoint.
+	stormAt := cs.K.Now() + 1
+	storm := make([]*cluster.Job, nt)
+	for i, j := range jobs {
+		if storm[i], err = cs.Sess.LaunchOn(j.Alloc, restartOf(cs.tenantDefaults(tenants)[i], stormAt)); err != nil {
+			return nil, err
+		}
+	}
+	if err := cluster.Collect(storm, cs.K.Run()); err != nil {
+		return nil, err
+	}
+	for i, rj := range storm {
+		if !rj.Res.Restored {
+			return nil, fmt.Errorf("exp: restartstorm storm read of %q did not restore", rj.Tenant.Name)
+		}
+		dur := rj.Res.Done - rj.Res.Started
+		pen := 0.0
+		if solo[i] > 0 {
+			pen = dur / solo[i]
+		}
+		if pen > res.StormPenalty {
+			res.StormPenalty = pen
+		}
+		res.Rows = append(res.Rows, RestartStormRow{
+			Tenant: rj.Tenant.Name, SoloSec: solo[i], StormSec: dur, Penalty: pen,
+		})
+	}
+	res.Makespan = cs.K.Now()
+	res.FaultCounts = inj.Counts()
+	cs.finish("restartstorm")
+	return res, nil
+}
+
+// Table renders the solo-vs-storm comparison.
+func (r *RestartStormResult) Table() string {
+	rows := [][]string{}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Tenant,
+			fmt.Sprintf("%.3f", row.SoloSec),
+			fmt.Sprintf("%.3f", row.StormSec),
+			fmt.Sprintf("%.2fx", row.Penalty),
+		})
+	}
+	return FormatTable([]string{"tenant", "solo read (s)", "storm read (s)", "penalty"}, rows)
+}
+
+// WorkloadResult is a queued multi-tenant workload trace: when each job
+// arrived, when capacity admitted it, and how long it ran.
+type WorkloadResult struct {
+	Capacity int
+	Jobs     []*cluster.Job
+	Makespan float64
+}
+
+// RunWorkload generates the workload's tenants and runs them under dynamic
+// admission on a machine deliberately smaller than the aggregate demand
+// (twice the largest job, so arrivals genuinely queue). A single -np value
+// in the options overrides the capacity.
+func RunWorkload(o Options, wk cluster.Workload) (*WorkloadResult, error) {
+	tenants, err := wk.Tenants()
+	if err != nil {
+		return nil, err
+	}
+	capRanks := 0
+	if len(o.NPs) == 1 {
+		capRanks = o.NPs[0]
+	} else {
+		largest := tenants[0]
+		for _, t := range tenants {
+			if t.NP > largest.NP {
+				largest = t
+			}
+		}
+		if capRanks, err = clusterCapacity(o, []cluster.Tenant{largest}); err != nil {
+			return nil, err
+		}
+		capRanks = nextPow2(2 * capRanks)
+	}
+	cs, err := newClusterSession(o, tenants, capRanks, true)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := cs.Sess.LaunchQueued(cs.tenantDefaults(tenants))
+	if err != nil {
+		return nil, err
+	}
+	if err := cs.run(jobs); err != nil {
+		return nil, err
+	}
+	cs.finish("workload")
+	return &WorkloadResult{Capacity: cs.Capacity, Jobs: jobs, Makespan: cs.K.Now()}, nil
+}
+
+// Table renders the admission trace.
+func (r *WorkloadResult) Table() string {
+	rows := [][]string{}
+	for _, j := range r.Jobs {
+		rows = append(rows, []string{
+			j.Tenant.Name,
+			fmt.Sprint(j.Tenant.NP),
+			j.Tenant.Strategy.Name(),
+			fmt.Sprintf("%.2f", j.Tenant.Arrival),
+			fmt.Sprintf("%.2f", j.Admitted),
+			fmt.Sprintf("%.2f", j.Admitted-j.Tenant.Arrival),
+			fmt.Sprintf("%.2f", j.Res.Done),
+		})
+	}
+	return FormatTable(
+		[]string{"job", "np", "strategy", "arrival", "admitted", "waited", "done"},
+		rows)
+}
+
+// registerClusterExperiments wires the multi-tenant experiments into the
+// registry; registry.go's init calls it so registration order stays stable.
+func registerClusterExperiments() {
+	Register(Descriptor{
+		Name:  "ckptstorm",
+		Doc:   "tenant interference: colliding vs staggered checkpoints on shared storage",
+		Flags: "-tenants, -np",
+		Run: func(s *Session) error {
+			r, err := CkptStorm(s.Opts, s.NPOr(2048), s.tenants())
+			if err != nil {
+				return err
+			}
+			s.printf("== ckptstorm: %d tenants x np=%d on a %d-rank machine ==\n%s\n%s\n", r.Tenants, r.NP, r.Capacity, r.Table(), r.SummaryTable())
+			w := r.WorstColliding()
+			s.printf("worst colliding penalty %.2fx (%s); staggering recovers it\n", w.CollidingPenalty, w.Strategy)
+			return nil
+		},
+	})
+	Register(Descriptor{
+		Name:  "restartstorm",
+		Doc:   "system-wide outage, then every tenant restarts at once",
+		Flags: "-tenants, -np",
+		Run: func(s *Session) error {
+			r, err := RestartStorm(s.Opts, s.NPOr(2048), s.tenants())
+			if err != nil {
+				return err
+			}
+			s.printf("== restartstorm: %d tenants x np=%d, %vs outage ==\n%s\n", r.Tenants, r.NP, r.OutageSec, r.Table())
+			s.printf("worst storm penalty %.2fx; fault events fired: %d fail, %d restore\n",
+				r.StormPenalty, r.FaultCounts.Fails, r.FaultCounts.Restores)
+			return nil
+		},
+	})
+	Register(Descriptor{
+		Name:  "workload",
+		Doc:   "queued multi-tenant workload on an undersized machine",
+		Flags: "-workload, -np",
+		Run: func(s *Session) error {
+			wk, err := cluster.ParseWorkload(s.Workload)
+			if err != nil {
+				return err
+			}
+			r, err := RunWorkload(s.Opts, wk)
+			if err != nil {
+				return err
+			}
+			s.printf("== workload: %d jobs on a %d-rank machine ==\n%s\nmakespan %.2fs\n", len(r.Jobs), r.Capacity, r.Table(), r.Makespan)
+			return nil
+		},
+	})
+}

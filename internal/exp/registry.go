@@ -76,6 +76,12 @@ type Session struct {
 	// MTBF is the per-component mean time between failures in hours for the
 	// fault experiments (driver -mtbf flag; 0 means the default 6h).
 	MTBF float64
+	// Tenants is the multi-tenant experiments' job count (driver -tenants
+	// flag; 0 means the default 2).
+	Tenants int
+	// Workload is the workload experiment's generator spec (driver
+	// -workload flag; "" means cluster.DefaultWorkload).
+	Workload string
 
 	headline     []HeadlineRow
 	headlineErr  error
@@ -108,6 +114,13 @@ func (s *Session) NPOr(def int) int {
 		return s.Opts.NPs[0]
 	}
 	return def
+}
+
+func (s *Session) tenants() int {
+	if s.Tenants > 0 {
+		return s.Tenants
+	}
+	return 2
 }
 
 func (s *Session) mtbf() float64 {
@@ -362,4 +375,6 @@ func init() {
 			return nil
 		},
 	})
+
+	registerClusterExperiments()
 }

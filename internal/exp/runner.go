@@ -29,6 +29,10 @@ type Job struct {
 	Faults *FaultSpec
 }
 
+// runJob executes one job's simulation; a package variable only so the
+// drain test can observe which jobs a failing pool actually starts.
+var runJob = runCheckpoint
+
 // RunSet executes the jobs on a worker pool and returns their results in
 // input order. Each job runs a complete simulation on its own kernel with its
 // own seeded RNG and touches no shared state, so the results — simulated
@@ -44,7 +48,7 @@ func RunSet(o Options, jobs []Job) ([]*Run, error) {
 	}
 	if nw <= 1 {
 		for i, j := range jobs {
-			r, err := runCheckpoint(o, j)
+			r, err := runJob(o, j)
 			if err != nil {
 				return nil, err
 			}
@@ -65,10 +69,17 @@ func RunSet(o Options, jobs []Job) ([]*Run, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(jobs) || failed.Load() {
+				if i >= len(jobs) {
 					return
 				}
-				r, err := runCheckpoint(o, jobs[i])
+				// Re-check the failure flag after claiming the index: a
+				// claim that raced with another worker's failure must be
+				// abandoned before any simulation work starts, or the pool
+				// burns a full run on a result RunSet will discard.
+				if failed.Load() {
+					return
+				}
+				r, err := runJob(o, jobs[i])
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)

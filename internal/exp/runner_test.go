@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRunSetDrainsAfterFailure pins the worker-pool drain contract: once a
+// job has failed, a worker that claims a new index abandons it before any
+// simulation work starts. The stub makes job 0 fail instantly while every
+// other job takes long enough that the failure flag is set well before any
+// worker comes back for its next claim, so no job beyond the pool's first
+// claims may ever start.
+func TestRunSetDrainsAfterFailure(t *testing.T) {
+	var (
+		mu      sync.Mutex
+		started []int
+	)
+	boom := errors.New("boom")
+	orig := runJob
+	runJob = func(o Options, j Job) (*Run, error) {
+		mu.Lock()
+		started = append(started, j.NP)
+		mu.Unlock()
+		if j.NP == 0 {
+			return nil, boom
+		}
+		time.Sleep(50 * time.Millisecond)
+		return &Run{NP: j.NP}, nil
+	}
+	defer func() { runJob = orig }()
+
+	jobs := make([]Job, 10)
+	for i := range jobs {
+		jobs[i] = Job{NP: i}
+	}
+	_, err := RunSet(Options{Parallel: 2}, jobs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+	// Workers 1 and 2 claim jobs 0 and 1 before anything fails; job 0's
+	// instant failure must abandon everything after the in-flight claims.
+	if len(started) > 2 {
+		t.Fatalf("%d jobs started after a failure, want <= 2 (started: %v)", len(started), started)
+	}
+	for _, np := range started {
+		if np > 1 {
+			t.Fatalf("job %d started after the failure was flagged (started: %v)", np, started)
+		}
+	}
+}
+
+// TestRunSetSerialStopsAtFailure pins the same contract on the serial path.
+func TestRunSetSerialStopsAtFailure(t *testing.T) {
+	var started []int
+	boom := errors.New("boom")
+	orig := runJob
+	runJob = func(o Options, j Job) (*Run, error) {
+		started = append(started, j.NP)
+		if j.NP == 2 {
+			return nil, boom
+		}
+		return &Run{NP: j.NP}, nil
+	}
+	defer func() { runJob = orig }()
+
+	jobs := make([]Job, 5)
+	for i := range jobs {
+		jobs[i] = Job{NP: i}
+	}
+	_, err := RunSet(Options{Parallel: 1}, jobs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+	if want := fmt.Sprint([]int{0, 1, 2}); fmt.Sprint(started) != want {
+		t.Fatalf("started %v, want %s", started, want)
+	}
+}

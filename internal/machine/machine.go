@@ -67,6 +67,11 @@ type Machine struct {
 	place    Placement
 	numNodes int
 	numPsets int
+
+	// allocs holds the live tenant slices when an Allocator was built over
+	// the machine (sorted by base rank); nil in single-tenant mode, where
+	// rank resolution takes the historical whole-machine placement path.
+	allocs []*Alloc
 }
 
 // New builds a machine for the given configuration on the kernel. The RNG
@@ -138,6 +143,13 @@ func (m *Machine) Placement() Placement { return m.place }
 func (m *Machine) NodeOfRank(rank int) int {
 	if rank < 0 || rank >= m.Cfg.Ranks {
 		panic(fmt.Sprintf("machine: rank %d out of range [0,%d)", rank, m.Cfg.Ranks))
+	}
+	if m.allocs != nil {
+		a := m.AllocOfRank(rank)
+		if a == nil {
+			panic(fmt.Sprintf("machine: rank %d belongs to no live alloc", rank))
+		}
+		return a.nodeOfGlobal(rank)
 	}
 	return m.place.NodeOf(rank)
 }

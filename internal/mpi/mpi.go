@@ -52,12 +52,17 @@ func DefaultConfig() Config {
 	}
 }
 
-// World is an MPI job: one rank per core of the machine partition.
+// World is an MPI job: one rank per core of its machine slice. A world
+// built with NewWorld spans the whole partition (base 0); a world built
+// with NewWorldOn covers one tenant's allocation, and its ranks carry the
+// machine-global ids [base, base+size) so storage, fault, and trace
+// attribution stay correct when several worlds share one machine.
 type World struct {
 	M   *machine.Machine
 	K   *sim.Kernel
 	cfg Config
 
+	base   int // first global rank id; ranks[i] has id base+i
 	ranks  []*Rank
 	world  *Comm
 	shared *laneMPI   // registries and pools for serial and exclusive-lane use
@@ -116,12 +121,27 @@ func newLaneMPI() *laneMPI {
 	}
 }
 
-// NewWorld creates the MPI runtime over a machine.
+// NewWorld creates the MPI runtime over a whole machine.
 func NewWorld(m *machine.Machine, cfg Config) *World {
+	return buildWorld(m, cfg, 0, m.Cfg.Ranks)
+}
+
+// NewWorldOn creates an MPI runtime scoped to one tenant's machine slice:
+// its ranks carry the global ids the alloc owns, and rank→node resolution
+// goes through the slice's own placement.
+func NewWorldOn(m *machine.Machine, a *machine.Alloc, cfg Config) *World {
+	if a.Machine() != m {
+		panic("mpi: NewWorldOn with alloc from another machine")
+	}
+	return buildWorld(m, cfg, a.BaseRank(), a.Ranks())
+}
+
+func buildWorld(m *machine.Machine, cfg Config, base, size int) *World {
 	w := &World{
 		M:      m,
 		K:      m.K,
 		cfg:    cfg,
+		base:   base,
 		shared: newLaneMPI(),
 		rec:    m.K.Recorder(),
 	}
@@ -134,20 +154,24 @@ func NewWorld(m *machine.Machine, cfg Config) *World {
 			w.lanes[p].port = m.Net.NewPort()
 		}
 	}
-	w.ranks = make([]*Rank, m.Cfg.Ranks)
-	members := make([]int, m.Cfg.Ranks)
+	w.ranks = make([]*Rank, size)
+	members := make([]int, size)
 	for i := range w.ranks {
 		w.ranks[i] = &Rank{
 			w:    w,
-			id:   i,
-			node: m.NodeOfRank(i),
+			id:   base + i,
+			node: m.NodeOfRank(base + i),
 		}
-		members[i] = i
+		members[i] = base + i
 	}
 	part := w.commPart(members)
-	w.world = &Comm{w: w, id: 0, members: members, ident: true, part: part, lane: w.laneOK(part)}
+	w.world = &Comm{w: w, id: 0, members: members, ident: true, off: base, part: part, lane: w.laneOK(part)}
 	return w
 }
+
+// Base returns the first global rank id of this world's slice (0 for a
+// whole-machine world).
+func (w *World) Base() int { return w.base }
 
 // commPart returns the pset every member of a prospective communicator
 // lives in, or -1 when the group spans psets or the kernel is not
@@ -215,9 +239,10 @@ func (w *World) Size() int { return len(w.ranks) }
 // Comm returns the world communicator (MPI_COMM_WORLD).
 func (w *World) Comm() *Comm { return w.world }
 
-// Run spawns every rank executing body and drives the simulation to
-// completion. It returns the kernel's error (deadlock detection) if any.
-func (w *World) Run(body func(c *Comm, r *Rank)) error {
+// Spawn starts every rank as a simulation process executing body, without
+// driving the kernel. Multi-tenant sessions spawn several worlds' ranks
+// onto one kernel before a single Run drives them all.
+func (w *World) Spawn(body func(c *Comm, r *Rank)) {
 	for _, r := range w.ranks {
 		r := r
 		name := fmt.Sprintf("rank%d", r.id)
@@ -228,8 +253,18 @@ func (w *World) Run(body func(c *Comm, r *Rank)) error {
 			r.proc = w.K.Go(name, fn)
 		}
 	}
+}
+
+// Run spawns every rank executing body and drives the simulation to
+// completion. It returns the kernel's error (deadlock detection) if any.
+func (w *World) Run(body func(c *Comm, r *Rank)) error {
+	w.Spawn(body)
 	return w.K.Run()
 }
+
+// rankOf returns the Rank carrying a global (world) rank id owned by this
+// world.
+func (w *World) rankOf(world int) *Rank { return w.ranks[world-w.base] }
 
 // Rank is one MPI process.
 type Rank struct {
@@ -475,7 +510,8 @@ type Comm struct {
 	w       *World
 	id      int
 	members []int // world ranks; index == comm rank
-	ident   bool  // members[i] == i: comm rank equals world rank
+	ident   bool  // members[i] == off+i: comm rank is world rank minus off
+	off     int   // the contiguous run's base when ident
 
 	// part is the single pset all members live in, -1 when the group spans
 	// psets or the kernel is not pset-sharded. lane marks a communicator
@@ -518,16 +554,20 @@ func (c *Comm) port() *machine.Port {
 	return nil
 }
 
-// isIdent reports whether members is the identity mapping, letting the
-// world communicator (and any split that reproduces it) translate ranks
-// without the binary search.
-func isIdent(members []int) bool {
+// identOff reports whether members is a contiguous ascending run (base+i at
+// index i), letting a world communicator — at any tenant base — and any
+// split that reproduces one translate ranks without the binary search.
+func identOff(members []int) (off int, ok bool) {
+	if len(members) == 0 {
+		return 0, false
+	}
+	off = members[0]
 	for i, m := range members {
-		if m != i {
-			return false
+		if m != off+i {
+			return 0, false
 		}
 	}
-	return true
+	return off, true
 }
 
 // Size returns the number of ranks in the communicator.
@@ -536,8 +576,8 @@ func (c *Comm) Size() int { return len(c.members) }
 // Rank returns r's rank within the communicator, or -1 if not a member.
 func (c *Comm) Rank(r *Rank) int {
 	if c.ident {
-		if r.id < len(c.members) {
-			return r.id
+		if i := r.id - c.off; i >= 0 && i < len(c.members) {
+			return i
 		}
 		return -1
 	}
@@ -584,7 +624,7 @@ func (c *Comm) isend(r *Rank, dst, tag int, buf data.Buf) (doneAt, start float64
 	r.sendBusyUntil = localDone
 
 	dstWorld := c.members[dst]
-	dstRank := r.w.ranks[dstWorld]
+	dstRank := r.w.rankOf(dstWorld)
 	// Physical movement: DMA injection, then the fabric.
 	var injDone, arrival float64
 	if p := c.port(); p != nil {
@@ -636,7 +676,7 @@ func (c *Comm) Send(r *Rank, dst, tag int, buf data.Buf) {
 		r.sendBusyUntil = localDone
 		h := r.w.poolFor(r.proc).getSendHook()
 		*h = sendHook{
-			w: r.w, sender: r.proc, srcNode: r.node, dst: r.w.ranks[c.members[dst]],
+			w: r.w, sender: r.proc, srcNode: r.node, dst: r.w.rankOf(c.members[dst]),
 			localDone: localDone, resume: localDone - tCall, port: c.port(),
 			src: r.id, tag: tag, comm: c.id, buf: buf,
 		}
@@ -668,7 +708,7 @@ func (c *Comm) sendShared(r *Rank, dst, tag int, buf data.Buf) {
 	}
 	localDone := copyStart + float64(buf.Len())/cfg.LocalCopyBW
 	r.sendBusyUntil = localDone
-	dstRank := r.w.ranks[c.members[dst]]
+	dstRank := r.w.rankOf(c.members[dst])
 	injDone := r.w.M.Net.Inject(localDone, r.node, buf.Len())
 	arrival := r.w.M.Net.Transfer(injDone, r.node, dstRank.node, buf.Len())
 	msg := r.w.poolFor(r.proc).getMsg()
@@ -835,8 +875,8 @@ func (c *Comm) RecvTimeout(r *Rank, src, tag int, timeout float64) (data.Buf, in
 
 func (c *Comm) rankOfWorld(world int) int {
 	if c.ident {
-		if world >= 0 && world < len(c.members) {
-			return world
+		if i := world - c.off; i >= 0 && i < len(c.members) {
+			return i
 		}
 		return -1
 	}
@@ -1219,9 +1259,10 @@ func (c *Comm) Split(r *Rank, color int64, key int64) *Comm {
 			// key == parent rank, where the two orderings coincide.
 			sort.Ints(members)
 			part := c.w.commPart(members)
+			off, ident := identOff(members)
 			entry.comms[col] = &Comm{
 				w: c.w, id: reg.newCommID(regPart), members: members,
-				ident: isIdent(members), part: part, lane: c.w.laneOK(part),
+				ident: ident, off: off, part: part, lane: c.w.laneOK(part),
 			}
 		}
 		reg.splitReg[sk] = entry

@@ -57,6 +57,17 @@ type RunConfig struct {
 	// unresponsive peer before declaring its chunk missing (default
 	// ckpt.DefaultPeerTimeout).
 	PeerTimeout float64
+
+	// StartAt delays every rank's first action until the given absolute
+	// simulated time. Multi-tenant sessions use it to stagger job arrivals
+	// on a shared kernel; zero (the default) starts immediately.
+	StartAt float64
+
+	// OnComplete, when set, runs in the last finishing rank's process
+	// context the moment every rank's body has returned, with that rank's
+	// simulated time. The cluster scheduler uses it to retire a job's
+	// allocation while the kernel is still running other tenants.
+	OnComplete func(t float64)
 }
 
 // RankCkpt is a rank's condensed view of the final checkpoint, retained for
@@ -131,11 +142,13 @@ func (a *CkptAgg) PerceivedBandwidth() float64 {
 
 // RunResult summarizes a production run.
 type RunResult struct {
-	Wall        float64 // total simulated seconds
+	Wall        float64 // kernel time when the result was collected
+	Started     float64 // when rank 0's body began (after any StartAt delay)
+	Done        float64 // when the last rank's body returned
 	Presetup    float64 // presetup phase duration
 	ComputeStep float64 // modelled solver seconds per time step (max rank)
 	Checkpoints []*CkptAgg
-	PerRank     []RankCkpt // per-rank stats of the final checkpoint
+	PerRank     []RankCkpt // per-rank stats of the final checkpoint, by comm rank
 	Restored    bool
 }
 
@@ -148,9 +161,37 @@ func (rr *RunResult) TotalCheckpoint() float64 {
 	return t
 }
 
+// Pending is a launched-but-not-collected run: its ranks are spawned on
+// the kernel but the kernel has not (necessarily) been driven to
+// completion. Multi-tenant sessions Launch several runs on one kernel,
+// drive it once, then Finish each.
+type Pending struct {
+	w   *mpi.World
+	cfg RunConfig
+	res *RunResult
+
+	mu       sync.Mutex
+	firstErr error
+	aggs     map[int64]*CkptAgg
+	order    []int64
+	left     int // rank bodies not yet returned
+}
+
 // Run executes the production loop on every rank of the world and returns
 // the aggregated result. It must be called once per World.
 func Run(w *mpi.World, fs fsys.System, cfg RunConfig) (*RunResult, error) {
+	pe, err := Launch(w, fs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return pe.Finish(w.K.Run())
+}
+
+// Launch validates the configuration, preloads input files, and spawns
+// every rank's body on the kernel without driving it. The caller runs the
+// kernel (once, for however many launched worlds share it) and then calls
+// Finish to collect the result.
+func Launch(w *mpi.World, fs fsys.System, cfg RunConfig) (*Pending, error) {
 	if cfg.Strategy == nil && cfg.CheckpointEvery > 0 {
 		return nil, fmt.Errorf("nekcem: checkpointing requested without a strategy")
 	}
@@ -158,19 +199,25 @@ func Run(w *mpi.World, fs fsys.System, cfg RunConfig) (*RunResult, error) {
 		cfg.DT = 1e-3
 	}
 	np := w.Size()
-	res := &RunResult{PerRank: make([]RankCkpt, np)}
+	pe := &Pending{
+		w:    w,
+		cfg:  cfg,
+		res:  &RunResult{PerRank: make([]RankCkpt, np)},
+		aggs: map[int64]*CkptAgg{},
+		left: np,
+	}
+	res := pe.res
 	env := &ckpt.Env{FS: fs, Dir: cfg.Dir, Log: cfg.Log, RankUp: cfg.RankUp, PeerTimeout: cfg.PeerTimeout}
 	// Ranks on different partition lanes of a sharded kernel run on
 	// different OS threads; everything they merge into across ranks is
 	// guarded by one mutex. Every merged quantity commutes (min/max,
 	// integer sums), so the aggregate is identical whatever order lanes
 	// reach it in.
-	var mu sync.Mutex
-	var firstErr error
+	mu := &pe.mu
 	fail := func(err error) {
 		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
+		if pe.firstErr == nil {
+			pe.firstErr = err
 		}
 		mu.Unlock()
 	}
@@ -181,11 +228,17 @@ func Run(w *mpi.World, fs fsys.System, cfg RunConfig) (*RunResult, error) {
 		fs.Preload(meshPath, cfg.Mesh.MeshFileBytes())
 	}
 
-	aggs := map[int64]*CkptAgg{}
-	var order []int64
+	aggs := pe.aggs
 
-	runErr := w.Run(func(c *mpi.Comm, r *mpi.Rank) {
+	w.Spawn(func(c *mpi.Comm, r *mpi.Rank) {
 		p := r.Proc()
+		defer pe.rankDone(r)
+		if cfg.StartAt > 0 {
+			p.SleepUntil(cfg.StartAt)
+		}
+		if c.Rank(r) == 0 {
+			res.Started = r.Now()
+		}
 		var plan ckpt.Plan
 		if cfg.Strategy != nil {
 			var err error
@@ -300,19 +353,48 @@ func Run(w *mpi.World, fs fsys.System, cfg RunConfig) (*RunResult, error) {
 				if !ok {
 					agg = &CkptAgg{Step: cp.Step, Start: stats.Start}
 					aggs[cp.Step] = agg
-					order = append(order, cp.Step)
+					pe.order = append(pe.order, cp.Step)
 				}
 				mergeStats(agg, stats)
 				mu.Unlock()
-				res.PerRank[r.ID()] = RankCkpt{Role: stats.Role, Blocked: stats.Blocked(), Perceived: stats.Perceived}
+				res.PerRank[c.Rank(r)] = RankCkpt{Role: stats.Role, Blocked: stats.Blocked(), Perceived: stats.Perceived}
 			}
 		}
 	})
-	// An application-level error usually strands the other ranks in their
-	// collectives, producing a deadlock report; the root cause is the app
-	// error, so report it first.
-	if firstErr != nil {
-		return nil, firstErr
+	return pe, nil
+}
+
+// rankDone records a rank body's return. When it is the last one, the run's
+// completion time is final and the OnComplete hook (if any) fires in this
+// rank's process context.
+func (pe *Pending) rankDone(r *mpi.Rank) {
+	t := r.Now()
+	pe.mu.Lock()
+	if t > pe.res.Done {
+		pe.res.Done = t
+	}
+	pe.left--
+	last := pe.left == 0
+	pe.mu.Unlock()
+	if last && pe.cfg.OnComplete != nil {
+		pe.cfg.OnComplete(pe.res.Done)
+	}
+}
+
+// Err returns the first application-level error a rank hit, if any.
+func (pe *Pending) Err() error {
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	return pe.firstErr
+}
+
+// Finish collects the aggregated result after the kernel has run. runErr is
+// the kernel's own verdict (deadlock detection); an application-level error
+// usually strands the other ranks in their collectives, producing a
+// deadlock report, so the app error — the root cause — is reported first.
+func (pe *Pending) Finish(runErr error) (*RunResult, error) {
+	if pe.firstErr != nil {
+		return nil, pe.firstErr
 	}
 	if runErr != nil {
 		return nil, runErr
@@ -320,11 +402,13 @@ func Run(w *mpi.World, fs fsys.System, cfg RunConfig) (*RunResult, error) {
 	// Serially, steps are first reached in ascending order; under a sharded
 	// kernel lanes may reach a step's aggregate in any real-time order, so
 	// sort to pin the serial presentation.
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-	for _, stepIdx := range order {
-		res.Checkpoints = append(res.Checkpoints, aggs[stepIdx])
+	sort.Slice(pe.order, func(i, j int) bool { return pe.order[i] < pe.order[j] })
+	res := pe.res
+	res.Checkpoints = res.Checkpoints[:0]
+	for _, stepIdx := range pe.order {
+		res.Checkpoints = append(res.Checkpoints, pe.aggs[stepIdx])
 	}
-	res.Wall = w.M.K.Now()
+	res.Wall = pe.w.M.K.Now()
 	return res, nil
 }
 

@@ -187,6 +187,12 @@ type Recorder struct {
 
 	counters     map[spanKey]int64
 	counterOrder []spanKey
+
+	// tenants/tenantAggs drive per-tenant span attribution in multi-tenant
+	// sessions (see tenant.go); nil — costing one pointer compare per
+	// span — everywhere else.
+	tenants    []TenantRange
+	tenantAggs []tenantAgg
 }
 
 // NewRecorder returns an enabled recorder with the default event cap.
@@ -225,6 +231,9 @@ func (r *Recorder) Span(l Layer, name string, track int, start, end float64, byt
 		st.Max = d
 	}
 	st.Hist[histBucket(d)]++
+	if r.tenantAggs != nil {
+		r.attributeSpan(l, name, track, d, bytes)
+	}
 	r.push(Event{Layer: l, Kind: KindSpan, Track: int32(track), Name: name, T: start, Dur: d, Value: float64(bytes)})
 }
 
