@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test check bench bench-json fig5 storm
+.PHONY: build test check bench bench-json fig5 storm recovery
 
 build:
 	$(GO) build ./...
@@ -36,3 +36,9 @@ fig5:
 # wall-clock plus the worst colliding/staggered penalties of the storm sweep.
 storm:
 	BENCH_JSON=. $(GO) test -run xxx -bench CkptStorm -benchtime 1x .
+
+# recovery records the closed-loop checkpoint/restart lifecycle benchmark
+# (BENCH_Recovery.json): the measured-vs-Daly study at 2048 ranks, all four
+# strategy families across the MTBF ladder.
+recovery:
+	BENCH_JSON=. $(GO) test -run xxx -bench 'Recovery$$' -benchtime 1x .

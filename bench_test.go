@@ -546,6 +546,46 @@ func BenchmarkFig5Partitioned(b *testing.B) {
 	}
 }
 
+// BenchmarkRecovery measures the closed-loop checkpoint/restart lifecycle
+// study at 2048 ranks: all four strategy families, one fault-free arm plus
+// the full MTBF ladder each, every rollback really scanning manifests and
+// re-reading its picked epoch. The recorded extras carry the experiment's
+// headline physics — the worst measured-over-Daly ratio and the total
+// rollback/torn counts — so a regression in the recovery path or the epoch
+// protocol shows up in the JSON trend, not just the wall clock.
+func BenchmarkRecovery(b *testing.B) {
+	perf.TuneGC()
+	var rows []exp.RecoveryRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.RecoveryStudy(opts(), 2048, 6, 120, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	report(b, "Recovery: measured lifecycle vs the Daly model @2048", exp.RecoveryTable(rows))
+	worstRatio, rollbacks, torn := 0.0, 0, 0
+	for _, r := range rows {
+		if r.Daly > 0 && r.Makespan/r.Daly > worstRatio {
+			worstRatio = r.Makespan / r.Daly
+		}
+		rollbacks += r.Rollbacks
+		torn += r.Torn
+	}
+	b.ReportMetric(worstRatio, "worst-measured/daly-x")
+	emitBench(b, "Recovery", perf.Benchmark{
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Extra: map[string]float64{
+			"worst_measured_over_daly_x": worstRatio,
+			"total_rollbacks":            float64(rollbacks),
+			"total_torn_epochs":          float64(torn),
+			"rows":                       float64(len(rows)),
+		},
+	})
+}
+
 // ---------------------------------------------------------------------------
 // Micro benchmarks: substrate hot paths.
 

@@ -48,7 +48,10 @@ func main() {
 		fsName    = flag.String("fs", "gpfs", "storage backend for checkpoint experiments: gpfs, pvfs, bbuf (fscompare, drainoverlap and the GPFS-knob ablations/priorwork pick their own backends)")
 		machName  = flag.String("machine", "", "machine preset for checkpoint experiments: intrepid (default), bgl, fattree, dragonfly (priorwork pins its own machines)")
 		mapName   = flag.String("map", "", "rank->node placement policy override: txyz (machine default), xyzt, blocked, roundrobin, random")
-		mtbf      = flag.Float64("mtbf", 6, "per-component MTBF in hours for the fault experiments (faultsweep, makespan)")
+		mtbf      = flag.Float64("mtbf", 6, "per-component MTBF in hours for the fault experiments (faultsweep, makespan, recovery)")
+		epochs    = flag.Int("epochs", 0, "checkpoint epochs over the recovery lifecycle's work budget (0 = default 12)")
+		workSteps = flag.Int("work", 0, "solver-step work budget for -exp recovery (0 = default 120)")
+		manifests = flag.Bool("manifests", false, "attach epoch-manifest recording to every checkpoint run (results are byte-identical; used by the golden-diff CI step)")
 		tenants   = flag.Int("tenants", 0, "concurrent tenant jobs for the multi-tenant experiments (ckptstorm, restartstorm); 0 = default 2")
 		workload  = flag.String("workload", "", "workload generator spec for -exp workload: key=value pairs over jobs, np (min:max), gap, steps, seed, strategy")
 		traceOut  = flag.String("trace", "", "write a Chrome/Perfetto trace_event JSON of every simulation run to this file (load at ui.perfetto.dev)")
@@ -84,6 +87,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "invalid -tenants %d (want >= 1; 0 = default 2)\n", *tenants)
 		os.Exit(2)
 	}
+	if err := validateLifecycleFlags(*epochs, *workSteps, setFlags()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if _, err := cluster.ParseWorkload(*workload); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -111,6 +118,9 @@ func main() {
 	if *np > 0 {
 		opts = append(opts, exp.NPs(*np))
 	}
+	if *manifests {
+		opts = append(opts, exp.Manifests())
+	}
 	var tc *exp.TraceCollector
 	if *traceOut != "" || *metrics {
 		tc = &exp.TraceCollector{MaxEvents: *traceEvts}
@@ -122,6 +132,8 @@ func main() {
 	s.MTBF = *mtbf
 	s.Tenants = *tenants
 	s.Workload = *workload
+	s.Epochs = *epochs
+	s.Work = *workSteps
 	for _, d := range exp.Experiments() {
 		if *which != "all" && !selects(d, *which) {
 			continue
@@ -147,6 +159,25 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "trace: wrote %s (load at ui.perfetto.dev or chrome://tracing)\n", *traceOut)
 	}
+}
+
+// setFlags returns the names of the flags the command line set explicitly.
+func setFlags() map[string]bool {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
+// validateLifecycleFlags rejects explicit non-positive -epochs/-work values
+// (their zero defaults mean "use the experiment's default budget").
+func validateLifecycleFlags(epochs, work int, set map[string]bool) error {
+	if set["epochs"] && epochs <= 0 {
+		return fmt.Errorf("invalid -epochs %d (want >= 1; omit for the default 12)", epochs)
+	}
+	if set["work"] && work <= 0 {
+		return fmt.Errorf("invalid -work %d (want >= 1; omit for the default 120)", work)
+	}
+	return nil
 }
 
 // selects reports whether name picks descriptor d (by name or alias).

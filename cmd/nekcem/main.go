@@ -26,6 +26,7 @@ import (
 	"repro/internal/mpiio"
 	"repro/internal/nekcem"
 	"repro/internal/pvfs"
+	"repro/internal/recover"
 	"repro/internal/sim"
 	"repro/internal/xrand"
 )
@@ -47,12 +48,25 @@ func main() {
 		logPath  = flag.String("log", "", "write a Darshan-style I/O trace (JSON) to this file")
 		elems    = flag.Int("elements", 0, "mesh elements (default: paper weak scaling, ~4.25/rank at N=15)")
 		order    = flag.Int("order", 0, "polynomial order N (default 15; content mode default 4)")
+		workStps = flag.Int("work", 0, "solver-step work budget; with -epochs, overrides -steps/-ckpt-every and records epoch manifests (0 = off)")
+		epochs   = flag.Int("epochs", 0, "checkpoint epochs over the -work budget (0 = off)")
 	)
 	flag.Parse()
 
 	if *shards < 0 {
 		fmt.Fprintf(os.Stderr, "invalid -shards %d (want >= 0; 0 or 1 = serial kernel)\n", *shards)
 		os.Exit(2)
+	}
+	if err := validateLifecycleFlags(*epochs, *workStps, setFlags()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *workStps > 0 && *epochs > 0 {
+		*steps = *workStps
+		*every = *workStps / *epochs
+		if *every < 1 {
+			*every = 1
+		}
 	}
 
 	mesh := nekcem.PaperMesh(*np)
@@ -153,7 +167,13 @@ func main() {
 	if *content {
 		payload = 1
 	}
-	res, err := nekcem.Run(w, fs, nekcem.RunConfig{
+	var mlog *recover.Log
+	var seg *recover.Segment
+	if *workStps > 0 && *epochs > 0 {
+		mlog = recover.NewLog(*seed, *np)
+		seg = mlog.StartSegment("ckpt", 0, 0)
+	}
+	rcfg := nekcem.RunConfig{
 		Mesh:            mesh,
 		Strategy:        strat,
 		Dir:             "ckpt",
@@ -163,7 +183,11 @@ func main() {
 		PayloadFactor:   payload,
 		Compute:         nekcem.DefaultComputeModel(),
 		Log:             log,
-	})
+	}
+	if seg != nil {
+		rcfg.Epochs = seg
+	}
+	res, err := nekcem.Run(w, fs, rcfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -181,18 +205,53 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("  files on %s: %d\n", fs.Name(), fs.NumFiles())
+	if mlog != nil {
+		seg.Close()
+		sealed, torn := 0, 0
+		for _, e := range mlog.Epochs(ckpt.LevelGlobal) {
+			if e.Sealed() {
+				sealed++
+			} else {
+				torn++
+			}
+		}
+		fmt.Printf("  epoch manifests: %d sealed, %d torn\n", sealed, torn)
+	}
 
 	if log != nil {
-		f, err := os.Create(*logPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := log.WriteJSON(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		f.Close()
-		fmt.Printf("  I/O trace: %s (%d records)\n", *logPath, log.Len())
+		writeLog(log, *logPath)
 	}
+}
+
+// setFlags returns the names of the flags the command line set explicitly.
+func setFlags() map[string]bool {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
+// validateLifecycleFlags rejects explicit non-positive -epochs/-work values
+// (their zero defaults leave -steps/-ckpt-every in charge).
+func validateLifecycleFlags(epochs, work int, set map[string]bool) error {
+	if set["epochs"] && epochs <= 0 {
+		return fmt.Errorf("invalid -epochs %d (want >= 1)", epochs)
+	}
+	if set["work"] && work <= 0 {
+		return fmt.Errorf("invalid -work %d (want >= 1)", work)
+	}
+	return nil
+}
+
+func writeLog(log *iolog.Log, logPath string) {
+	f, err := os.Create(logPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := log.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("  I/O trace: %s (%d records)\n", logPath, log.Len())
 }

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestValidateLifecycleFlags(t *testing.T) {
+	set := func(names ...string) map[string]bool {
+		m := map[string]bool{}
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	cases := []struct {
+		name    string
+		epochs  int
+		work    int
+		set     map[string]bool
+		wantErr bool
+	}{
+		{"defaults pass (lifecycle off)", 0, 0, set(), false},
+		{"positive values pass", 4, 40, set("epochs", "work"), false},
+		{"explicit zero epochs rejected", 0, 40, set("epochs", "work"), true},
+		{"explicit negative epochs rejected", -1, 40, set("epochs"), true},
+		{"explicit zero work rejected", 4, 0, set("work"), true},
+		{"explicit negative work rejected", 4, -8, set("epochs", "work"), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateLifecycleFlags(c.epochs, c.work, c.set)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("validateLifecycleFlags(%d, %d, %v) = %v, wantErr %v",
+					c.epochs, c.work, c.set, err, c.wantErr)
+			}
+		})
+	}
+}

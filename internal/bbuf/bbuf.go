@@ -208,11 +208,19 @@ func (fs *FileSystem) EnableFaults(in *fault.Injector, pol storage.FaultPolicy, 
 		}
 		switch ev.Kind {
 		case fault.Fail:
-			fs.path.ionDown(ev.Index)
+			fs.path.ionDown(ev.Index, fs.Core.Kernel().Now())
 		case fault.Restore:
 			fs.path.dead[ev.Index] = false
 		}
 	})
+}
+
+// OnLost registers a callback invoked (in kernel time order) whenever
+// buffered bytes are written off as lost: an ION death taking its buffer, or
+// a background drain exhausting the storage retry budget. The recovery
+// layer uses it to invalidate epochs whose durability silently evaporated.
+func (fs *FileSystem) OnLost(fn func(ion int, bytes int64, t float64)) {
+	fs.path.onLost = fn
 }
 
 // Buffer returns the burst-buffer tier's counters.
@@ -254,6 +262,7 @@ type burstPath struct {
 	epoch  []int          // per-ION death epoch; stale drains check it
 	dead   []bool         // per-ION down flag; writes spill while set
 	stats  BufferStats
+	onLost func(ion int, bytes int64, t float64)
 }
 
 var _ storage.DataPath = (*burstPath)(nil)
@@ -283,10 +292,13 @@ func (d *burstPath) init(c *storage.Core) {
 // ionDown loses the ION's buffer: everything absorbed but not yet drained —
 // drains in flight included — is gone, and the epoch bump voids their
 // completion callbacks so the accounting cannot double-free.
-func (d *burstPath) ionDown(i int) {
+func (d *burstPath) ionDown(i int, t float64) {
 	d.dead[i] = true
 	if d.used[i] > 0 {
 		d.stats.LostBytes += d.used[i]
+		if d.onLost != nil {
+			d.onLost(i, d.used[i], t)
+		}
 		d.used[i] = 0
 	}
 	d.epoch[i]++
@@ -393,6 +405,9 @@ func (d *burstPath) drainOut(c *storage.Core, h *storage.Handle, ion int, ready 
 		d.used[ion] -= n
 		d.stats.DrainedBytes += n - lost
 		d.stats.LostBytes += lost
+		if lost > 0 && d.onLost != nil {
+			d.onLost(ion, lost, done)
+		}
 		if done > d.stats.LastDrainEnd {
 			d.stats.LastDrainEnd = done
 		}

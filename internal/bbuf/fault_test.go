@@ -118,3 +118,56 @@ func TestIONDeathEpochVoidsInflightDrain(t *testing.T) {
 		}
 	})
 }
+
+// TestOnLostCallbackReportsBufferLoss: the recovery layer's loss hook fires
+// in kernel time order when an ION death writes off its undrained buffer,
+// with the lost byte count and the loss instant.
+func TestOnLostCallbackReportsBufferLoss(t *testing.T) {
+	const n = 4 << 20
+	sched := fault.Schedule{
+		{Time: 0.5, Class: fault.ION, Index: 0, Kind: fault.Fail},
+		{Time: 2.0, Class: fault.ION, Index: 0, Kind: fault.Restore},
+	}
+	type loss struct {
+		ion   int
+		bytes int64
+		t     float64
+	}
+	var losses []loss
+	faultRig(t, func(c *Config) { c.DrainBW = 100e3 }, sched, func(p *sim.Proc, fs *FileSystem) {
+		fs.OnLost(func(ion int, bytes int64, at float64) {
+			losses = append(losses, loss{ion, bytes, at})
+		})
+		h, err := fs.Create(p, 0, "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.WriteAt(p, 0, 0, data.Synthetic(n)); err != nil {
+			t.Fatal(err)
+		}
+		if len(losses) != 0 {
+			t.Fatalf("loss reported before the ION died: %+v", losses)
+		}
+		p.SleepUntil(1.0) // past the death
+		if len(losses) == 0 {
+			t.Fatal("ION death lost buffered bytes but the hook never fired")
+		}
+		got := losses[0]
+		if got.ion != 0 {
+			t.Errorf("loss attributed to ION %d, want 0", got.ion)
+		}
+		if got.bytes <= 0 || got.bytes > n {
+			t.Errorf("lost %d bytes, want in (0, %d]", got.bytes, n)
+		}
+		if got.t != 0.5 {
+			t.Errorf("loss reported at t=%g, want the death instant 0.5", got.t)
+		}
+		var total int64
+		for _, l := range losses {
+			total += l.bytes
+		}
+		if total != fs.Buffer().LostBytes {
+			t.Errorf("hook reported %d lost bytes, counters say %d", total, fs.Buffer().LostBytes)
+		}
+	})
+}

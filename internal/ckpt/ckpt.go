@@ -147,6 +147,10 @@ type Env struct {
 	// PeerTimeout is how long fault-aware strategies wait on a peer's
 	// message before declaring the peer dead (0: DefaultPeerTimeout).
 	PeerTimeout float64
+	// Epochs, when non-nil, receives two-phase epoch commit records (data
+	// blocks, per-rank commits, known losses) from every checkpoint step.
+	// Reporting is free in simulated time and draws no random numbers.
+	Epochs EpochSink
 }
 
 // DefaultPeerTimeout is the stock dead-peer detection window, comfortably

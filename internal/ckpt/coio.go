@@ -120,6 +120,7 @@ func (pl *coPlan) Write(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, error) {
 		if err := f.WriteAtAll(r, off, payload); err != nil {
 			return Stats{}, err
 		}
+		env.epochBlock(LevelGlobal, cp.Step, r.ID(), path, off, payload.Len(), r.Now())
 		if isAgg {
 			// An aggregator commits its whole file domain, not just its own
 			// contribution.
@@ -136,6 +137,14 @@ func (pl *coPlan) Write(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, error) {
 	env.log(r.ID(), iolog.OpClose, t3, r.Now(), 0)
 
 	end := r.Now()
+	// coIO is not fault-aware: a dead rank ghosts through the collective,
+	// but its data never really existed — its epoch contribution is lost,
+	// not committed.
+	if env.FaultAware() && !env.Up(r.ID()) {
+		env.epochLost(LevelGlobal, cp.Step, r.ID(), "node down", end)
+	} else {
+		env.epochCommit(LevelGlobal, cp.Step, r.ID(), len(cp.Fields), end)
+	}
 	return Stats{
 		Role:      RoleAll,
 		Start:     start,

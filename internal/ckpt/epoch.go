@@ -1,0 +1,98 @@
+package ckpt
+
+// Two-phase epoch commit. A checkpoint step forms an *epoch*: phase 1 is
+// the data blocks the strategy writes (each reported with its file location,
+// so an integrity layer can checksum and manifest them), phase 2 is a
+// per-rank commit record sealing that rank's contribution. An epoch whose
+// commit set is incomplete — a rank died mid-step, a writer recorded a
+// peer's chunk as missing, the storage was unavailable — is *torn*, and a
+// restart scanner can detect it instead of trusting silently-"good" bytes.
+//
+// The sink is a pure observer: reporting costs zero simulated time, draws
+// no random numbers, and is skipped entirely when Env.Epochs is nil, so
+// fault-free runs with the manifest layer on are byte-identical to runs
+// without it.
+
+// Level is the durability tier an epoch commits to.
+type Level uint8
+
+// Levels.
+const (
+	// LevelGlobal is the shared parallel file system.
+	LevelGlobal Level = iota
+	// LevelLocal is the node-local tier (multilevel's RAM disk).
+	LevelLocal
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelGlobal:
+		return "global"
+	case LevelLocal:
+		return "local"
+	}
+	return "unknown"
+}
+
+// BlockRecord reports one data block written during an epoch (phase 1).
+// Rank is the world rank that owns the block's payload; for aggregated
+// strategies the committing writer reports on behalf of the group.
+type BlockRecord struct {
+	Level  Level
+	Step   int64
+	Rank   int
+	Path   string
+	Offset int64
+	Bytes  int64
+	Time   float64
+}
+
+// CommitRecord seals one rank's contribution to an epoch (phase 2).
+type CommitRecord struct {
+	Level  Level
+	Step   int64
+	Rank   int
+	Blocks int
+	Time   float64
+}
+
+// LostRecord reports that a rank's contribution to an epoch is known lost:
+// its node was down, its chunk never reached the writer, or the storage
+// refused the commit. A lost record permanently tears the epoch.
+type LostRecord struct {
+	Level  Level
+	Step   int64
+	Rank   int
+	Reason string
+	Time   float64
+}
+
+// EpochSink receives two-phase epoch records from strategies. Implemented
+// by recover.Log. Methods are called from rank process context during the
+// checkpoint step and must not advance simulated time.
+type EpochSink interface {
+	EpochBlock(BlockRecord)
+	EpochCommit(CommitRecord)
+	EpochLost(LostRecord)
+}
+
+func (e *Env) epochBlock(level Level, step int64, rank int, path string, off, n int64, t float64) {
+	if e.Epochs == nil {
+		return
+	}
+	e.Epochs.EpochBlock(BlockRecord{Level: level, Step: step, Rank: rank, Path: path, Offset: off, Bytes: n, Time: t})
+}
+
+func (e *Env) epochCommit(level Level, step int64, rank, blocks int, t float64) {
+	if e.Epochs == nil {
+		return
+	}
+	e.Epochs.EpochCommit(CommitRecord{Level: level, Step: step, Rank: rank, Blocks: blocks, Time: t})
+}
+
+func (e *Env) epochLost(level Level, step int64, rank int, reason string, t float64) {
+	if e.Epochs == nil {
+		return
+	}
+	e.Epochs.EpochLost(LostRecord{Level: level, Step: step, Rank: rank, Reason: reason, Time: t})
+}

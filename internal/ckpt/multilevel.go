@@ -120,6 +120,14 @@ func (pl *mlPlan) Write(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, error) {
 	_, end := pl.nodePipe(r).Transfer(r.Now(), cp.TotalBytes())
 	r.Proc().SleepUntil(end)
 	pl.local[r.ID()] = &localCkpt{cp: cp}
+	if env.FaultAware() && !env.Up(r.ID()) {
+		env.epochLost(LevelLocal, cp.Step, r.ID(), "node down", r.Now())
+	} else {
+		env.epochBlock(LevelLocal, cp.Step, r.ID(),
+			fmt.Sprintf("ram/n%d/step%06d", r.World().M.NodeOfRank(r.ID()), cp.Step),
+			0, cp.TotalBytes(), r.Now())
+		env.epochCommit(LevelLocal, cp.Step, r.ID(), 1, r.Now())
+	}
 
 	pl.count[r.ID()]++
 	if pl.count[r.ID()]%pl.cfg.globalEvery() == 0 {

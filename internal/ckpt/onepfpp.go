@@ -38,6 +38,7 @@ func (pl *onePlan) Write(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, error) {
 	p := r.Proc()
 	start := r.Now()
 	if env.FaultAware() && !env.Up(r.ID()) {
+		env.epochLost(LevelGlobal, cp.Step, r.ID(), "node down", start)
 		return Stats{Role: RoleAll, Start: start, End: start, Skipped: true, DeadRank: true}, nil
 	}
 	// Storage unavailability is an outcome of the step (the checkpoint is
@@ -48,6 +49,7 @@ func (pl *onePlan) Write(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, error) {
 			return Stats{}, err
 		}
 		now := r.Now()
+		env.epochLost(LevelGlobal, cp.Step, r.ID(), "storage unavailable", now)
 		return Stats{Role: RoleAll, Start: start, End: now, Perceived: now - start, Failed: true}, nil
 	}
 	path := rankFile(env.Dir, cp.Step, pl.c.Rank(r))
@@ -75,6 +77,7 @@ func (pl *onePlan) Write(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, error) {
 			return failed(err)
 		}
 		env.log(r.ID(), iolog.OpWrite, t2, r.Now(), payload.Len())
+		env.epochBlock(LevelGlobal, cp.Step, r.ID(), path, hdr.FieldOffset(fi), payload.Len(), r.Now())
 	}
 
 	t3 := r.Now()
@@ -84,6 +87,7 @@ func (pl *onePlan) Write(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, error) {
 	env.log(r.ID(), iolog.OpClose, t3, r.Now(), 0)
 
 	end := r.Now()
+	env.epochCommit(LevelGlobal, cp.Step, r.ID(), len(cp.Fields), end)
 	return Stats{
 		Role:      RoleAll,
 		Start:     start,

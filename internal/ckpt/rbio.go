@@ -148,6 +148,7 @@ func (pl *rbPlan) writeFT(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, error) 
 		if pl.isWriter {
 			role = RoleWriter
 		}
+		env.epochLost(LevelGlobal, cp.Step, r.ID(), "node down", now)
 		return Stats{Role: role, Start: now, End: now, Skipped: true, DeadRank: true}, nil
 	}
 	gs := pl.group.Size()
@@ -264,12 +265,29 @@ func (pl *rbPlan) writeWriterFT(env *Env, r *mpi.Rank, cp *Checkpoint, me int) (
 			// The group's servers are gone too: the step completes but
 			// nothing from this group is durable.
 			now := r.Now()
+			for w := 0; w < gs; w++ {
+				if env.Up(pl.group.WorldRank(w)) {
+					env.epochLost(LevelGlobal, cp.Step, pl.group.WorldRank(w), "storage unavailable", now)
+				}
+			}
 			return Stats{Role: RoleWriter, Start: start, End: now, Perceived: now - start,
 				Failed: true, MissingChunks: missingN}, nil
 		}
 		return Stats{}, err
 	}
 	end := r.Now()
+	// The writer seals the whole group: a worker's hand-off alone does not
+	// make its data durable, so commits are issued here, and a chunk that
+	// never arrived permanently tears the epoch.
+	for w := 0; w < gs; w++ {
+		wr := pl.group.WorldRank(w)
+		switch {
+		case missing[w]:
+			env.epochLost(LevelGlobal, cp.Step, wr, "chunk missing", end)
+		default:
+			env.epochCommit(LevelGlobal, cp.Step, wr, len(cp.Fields), end)
+		}
+	}
 	return Stats{
 		Role:          RoleWriter,
 		Start:         start,
@@ -345,6 +363,17 @@ func (pl *rbPlan) writeWriter(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, err
 		return Stats{}, err
 	}
 	end := r.Now()
+	// Seal the group. Under fault injection nf=1 is not fault-aware — a
+	// dead rank ghost-participates in the collective — so a member whose
+	// node is down is recorded lost, not committed.
+	for w := 0; w < gs; w++ {
+		wr := pl.group.WorldRank(w)
+		if env.FaultAware() && !env.Up(wr) {
+			env.epochLost(LevelGlobal, cp.Step, wr, "node down", end)
+		} else {
+			env.epochCommit(LevelGlobal, cp.Step, wr, len(cp.Fields), end)
+		}
+	}
 	return Stats{
 		Role:      RoleWriter,
 		Start:     start,
@@ -405,6 +434,8 @@ func (pl *rbPlan) commitIndependent(env *Env, r *mpi.Rank, cp *Checkpoint, chunk
 				return err
 			}
 		}
+		env.epochBlock(LevelGlobal, cp.Step, r.ID(), path, hdr.FieldOffset(fi),
+			cemfmt.BlockHeaderSize+hdr.FieldBytes(), r.Now())
 	}
 	if err := flush(); err != nil {
 		return err
@@ -471,6 +502,7 @@ func (pl *rbPlan) commitCollective(env *Env, r *mpi.Rank, cp *Checkpoint, chunkB
 			return err
 		}
 		env.log(r.ID(), iolog.OpWrite, t2, r.Now(), payload.Len())
+		env.epochBlock(LevelGlobal, cp.Step, r.ID(), path, off, payload.Len(), r.Now())
 	}
 
 	t3 := r.Now()

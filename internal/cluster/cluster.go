@@ -55,6 +55,10 @@ type Tenant struct {
 	// ("" = txyz); PlacementSeed feeds the "random" policy.
 	Placement     string
 	PlacementSeed uint64
+
+	// Epochs, when set, receives the tenant's two-phase epoch commit
+	// records (pure bookkeeping — recording never charges simulated time).
+	Epochs ckpt.EpochSink
 }
 
 func (t Tenant) dir() string {
@@ -131,6 +135,7 @@ func (s *Session) runConfig(t Tenant, startAt float64, onComplete func(float64))
 		RestartStep:     t.RestartStep,
 		StartAt:         startAt,
 		OnComplete:      onComplete,
+		Epochs:          t.Epochs,
 	}
 }
 

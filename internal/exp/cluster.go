@@ -8,6 +8,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fsys"
 	"repro/internal/machine"
+	"repro/internal/recover"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -405,6 +406,8 @@ func (r *CkptStormResult) SummaryTable() string {
 // RestartStormRow is one tenant's solo-vs-storm restart read.
 type RestartStormRow struct {
 	Tenant   string
+	ScanSec  float64 // manifest scan-and-verify before the solo read
+	Torn     int     // torn epochs the tenant's scan detected
 	SoloSec  float64 // re-read duration with the machine otherwise idle
 	StormSec float64 // re-read duration with every tenant reading at once
 	Penalty  float64
@@ -422,6 +425,8 @@ type RestartStormResult struct {
 	StormPenalty float64      // worst tenant's storm/solo slowdown
 	Makespan     float64      // kernel time when the storm drained
 	FaultCounts  fault.Counts // injector events that fired
+	Torn         int          // torn epochs across every tenant's scan
+	ScanBytes    int64        // manifest bytes read back across the scans
 }
 
 // RestartStorm runs the outage scenario on one kernel across four phases:
@@ -433,6 +438,13 @@ func RestartStorm(o Options, np, nt int) (*RestartStormResult, error) {
 		return nil, fmt.Errorf("exp: restartstorm needs at least 1 tenant, got %d", nt)
 	}
 	tenants := stormTenants(np, nt, ckpt.DefaultRbIO())
+	// Each tenant records its epochs in its own manifest log; restarts go
+	// through it (scan, verify, pick) instead of assuming step 1 survived.
+	logs := make([]*recover.Log, nt)
+	for i := range tenants {
+		logs[i] = recover.NewLog(o.seed(), tenants[i].NP)
+		tenants[i].Epochs = logs[i].StartSegment("ckpt/"+tenants[i].Name, 0, 0)
+	}
 	cs, err := newClusterSession(o, tenants, 0, true)
 	if err != nil {
 		return nil, err
@@ -470,19 +482,43 @@ func RestartStorm(o Options, np, nt int) (*RestartStormResult, error) {
 	}
 	restoreAt := t1 + 1 + res.OutageSec
 
-	// Phase 3 — solo baselines: each tenant re-reads its checkpoint with
-	// the machine otherwise idle, sequentially, on its own kernel run. The
+	// Phase 3 — solo baselines: each tenant first scans its manifest log
+	// through the shared storage (detecting any epoch the outage tore,
+	// picking the newest sealed one), then re-reads that epoch with the
+	// machine otherwise idle, sequentially, on its own kernel run. The
 	// first run also dispatches the outage events.
-	restartOf := func(t cluster.Tenant, at float64) cluster.Tenant {
+	restartOf := func(t cluster.Tenant, at float64, step int64) cluster.Tenant {
 		t.Arrival = at
 		t.Steps = 0
-		t.RestartStep = 1
+		t.RestartStep = step
+		t.Epochs = nil
 		return t
 	}
 	solo := make([]float64, nt)
+	scans := make([]recover.ScanResult, nt)
+	picks := make([]int64, nt)
 	at := restoreAt + 1
 	for i, j := range jobs {
-		rj, err := cs.Sess.LaunchOn(j.Alloc, restartOf(cs.tenantDefaults(tenants)[i], at))
+		idx := i
+		var scanErr error
+		cs.K.Go("restartstorm.scan", func(p *sim.Proc) {
+			p.SleepUntil(at)
+			scans[idx], scanErr = recover.Scan(p, cs.FS, logs[idx], recover.ScanOptions{})
+		})
+		if err := cs.K.Run(); err != nil {
+			return nil, err
+		}
+		if scanErr != nil {
+			return nil, scanErr
+		}
+		pick := scans[i].Pick
+		if pick == nil {
+			return nil, fmt.Errorf("exp: restartstorm: no sealed epoch survived the outage for %q", j.Tenant.Name)
+		}
+		picks[i] = pick.LocalStep
+		res.Torn += scans[i].Torn
+		res.ScanBytes += scans[i].ReadBytes
+		rj, err := cs.Sess.LaunchOn(j.Alloc, restartOf(cs.tenantDefaults(tenants)[i], cs.K.Now()+1, picks[i]))
 		if err != nil {
 			return nil, err
 		}
@@ -496,12 +532,12 @@ func RestartStorm(o Options, np, nt int) (*RestartStormResult, error) {
 		at = cs.K.Now() + 1
 	}
 
-	// Phase 4 — the storm: every tenant re-reads at the same instant on the
-	// nodes that wrote its checkpoint.
+	// Phase 4 — the storm: every tenant re-reads its manifest-picked epoch
+	// at the same instant on the nodes that wrote its checkpoint.
 	stormAt := cs.K.Now() + 1
 	storm := make([]*cluster.Job, nt)
 	for i, j := range jobs {
-		if storm[i], err = cs.Sess.LaunchOn(j.Alloc, restartOf(cs.tenantDefaults(tenants)[i], stormAt)); err != nil {
+		if storm[i], err = cs.Sess.LaunchOn(j.Alloc, restartOf(cs.tenantDefaults(tenants)[i], stormAt, picks[i])); err != nil {
 			return nil, err
 		}
 	}
@@ -521,7 +557,9 @@ func RestartStorm(o Options, np, nt int) (*RestartStormResult, error) {
 			res.StormPenalty = pen
 		}
 		res.Rows = append(res.Rows, RestartStormRow{
-			Tenant: rj.Tenant.Name, SoloSec: solo[i], StormSec: dur, Penalty: pen,
+			Tenant:  rj.Tenant.Name,
+			ScanSec: scans[i].End - scans[i].Start, Torn: scans[i].Torn,
+			SoloSec: solo[i], StormSec: dur, Penalty: pen,
 		})
 	}
 	res.Makespan = cs.K.Now()
@@ -536,12 +574,14 @@ func (r *RestartStormResult) Table() string {
 	for _, row := range r.Rows {
 		rows = append(rows, []string{
 			row.Tenant,
+			fmt.Sprintf("%.4f", row.ScanSec),
+			fmt.Sprint(row.Torn),
 			fmt.Sprintf("%.3f", row.SoloSec),
 			fmt.Sprintf("%.3f", row.StormSec),
 			fmt.Sprintf("%.2fx", row.Penalty),
 		})
 	}
-	return FormatTable([]string{"tenant", "solo read (s)", "storm read (s)", "penalty"}, rows)
+	return FormatTable([]string{"tenant", "scan (s)", "torn", "solo read (s)", "storm read (s)", "penalty"}, rows)
 }
 
 // WorkloadResult is a queued multi-tenant workload trace: when each job
@@ -638,8 +678,8 @@ func registerClusterExperiments() {
 				return err
 			}
 			s.printf("== restartstorm: %d tenants x np=%d, %vs outage ==\n%s\n", r.Tenants, r.NP, r.OutageSec, r.Table())
-			s.printf("worst storm penalty %.2fx; fault events fired: %d fail, %d restore\n",
-				r.StormPenalty, r.FaultCounts.Fails, r.FaultCounts.Restores)
+			s.printf("worst storm penalty %.2fx; fault events fired: %d fail, %d restore; manifest scans: %d torn epoch(s), %d B read\n",
+				r.StormPenalty, r.FaultCounts.Fails, r.FaultCounts.Restores, r.Torn, r.ScanBytes)
 			return nil
 		},
 	})

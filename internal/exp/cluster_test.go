@@ -170,9 +170,18 @@ func TestRestartStorm(t *testing.T) {
 		if row.Penalty < 0.99 {
 			t.Errorf("tenant %s: storm read faster than solo (%.3fx)", row.Tenant, row.Penalty)
 		}
+		if row.ScanSec <= 0 {
+			t.Errorf("tenant %s: restart did not pay a manifest scan (%.3fs)", row.Tenant, row.ScanSec)
+		}
 	}
 	if r.FaultCounts.Fails == 0 || r.FaultCounts.Restores != r.FaultCounts.Fails {
 		t.Errorf("outage did not fire symmetrically: %+v", r.FaultCounts)
+	}
+	if r.ScanBytes <= 0 {
+		t.Errorf("manifest scans read no bytes: %+v", r)
+	}
+	if r.Torn < 0 {
+		t.Errorf("negative torn count: %d", r.Torn)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
 	"repro/internal/nekcem"
+	"repro/internal/recover"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -70,6 +71,12 @@ type Options struct {
 	// never perturbs simulated time: results are byte-identical with and
 	// without it.
 	Trace *TraceCollector
+	// Manifests attaches an epoch-manifest log to every checkpoint run, so
+	// each strategy records its two-phase epoch commits. Manifest recording
+	// is pure bookkeeping on the write path (reads are only charged at
+	// restart scans), so fault-free results are byte-identical with and
+	// without it — the manifest golden-identity test pins that.
+	Manifests bool
 }
 
 // PaperNPs are the paper's weak-scaling processor counts.
@@ -179,6 +186,9 @@ func runCheckpoint(o Options, j Job) (*Run, error) {
 	}
 	if inj != nil {
 		rcfg.RankUp = func(rank int) bool { return inj.Up(fault.Node, m.NodeOfRank(rank)) }
+	}
+	if o.Manifests {
+		rcfg.Epochs = recover.NewLog(o.seed(), np).StartSegment(rcfg.Dir, 0, 0)
 	}
 	// collect hands the run's recorder to the collector once the simulation
 	// is over, whatever its outcome (aggregates survive even if the event

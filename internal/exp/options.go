@@ -76,3 +76,7 @@ func Quiet() Option { return func(o *Options) { o.Quiet = true } }
 
 // Trace attaches a collector that receives one recorder per simulation run.
 func Trace(tc *TraceCollector) Option { return func(o *Options) { o.Trace = tc } }
+
+// Manifests attaches an epoch-manifest log to every checkpoint run (pure
+// bookkeeping; fault-free results stay byte-identical).
+func Manifests() Option { return func(o *Options) { o.Manifests = true } }

@@ -1,0 +1,296 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/ckpt"
+	"repro/internal/fault"
+	"repro/internal/mpi"
+	"repro/internal/nekcem"
+	"repro/internal/recover"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/xrand"
+)
+
+// RecoveryRow is one cell of the closed-loop recovery study: a strategy
+// family's measured lifecycle makespan at one per-component MTBF, next to
+// the Daly model's prediction from the same measured constants.
+type RecoveryRow struct {
+	Strategy  string
+	NP        int
+	MTBFHours float64 // per-component; 0 is the fault-free arm
+	SysMTBF   float64 // seconds; 0 for the fault-free arm
+	Work      int     // solver-step budget
+	Tau       float64 // checkpoint interval, compute seconds
+	C         float64 // measured mean checkpoint cost, seconds
+	R         float64 // measured mean scan+restore per rollback, seconds
+
+	Makespan float64 // measured lifecycle wall seconds
+	Daly     float64 // model prediction from (M, tau, C, R, W)
+
+	Segments  int
+	Rollbacks int
+	Torn      int // torn epochs the restart scans detected
+	Rework    int // banked steps re-executed after rollbacks
+	WaitSec   float64
+	Kills     recover.KillStats
+}
+
+// recoveryMultipliers ladder the per-component MTBF for the lifecycle
+// study. A full lifecycle lasts minutes of simulated time (not the seconds
+// of a single checkpoint step), so the ladder is far gentler than the
+// single-step sweep's: the rungs land at roughly 0.3, 1.5 and 6 expected
+// failures per fault-free makespan at the paper's 6h headline MTBF.
+var recoveryMultipliers = []float64{8, 2, 0.5}
+
+// recoveryFamilies are the four strategy families under lifecycle test,
+// each with the segment granularity its epoch cadence needs (multi-level
+// must span GlobalEvery checkpoint intervals per launched segment so its
+// periodic global flush happens).
+func recoveryFamilies(np int) []struct {
+	Strategy ckpt.Strategy
+	SegCkpts int
+} {
+	ml := ckpt.DefaultMultiLevel()
+	return []struct {
+		Strategy ckpt.Strategy
+		SegCkpts int
+	}{
+		{ckpt.OnePFPP{}, 1},
+		{ckpt.CoIO{NumFiles: np / 64, Hints: defaultHints()}, 1},
+		{DefaultRbIOWithGroup(64), 1},
+		{ml, ml.GlobalEvery},
+	}
+}
+
+// recoveryCellOut is one executed lifecycle cell.
+type recoveryCellOut struct {
+	res   *recover.Result
+	kills recover.KillStats
+	ncomp int
+	err   error
+}
+
+// runRecoveryCell executes one full checkpoint/restart lifecycle: it
+// mirrors runCheckpoint's construction order (kernel, experiment RNG,
+// machine, storage, faults) and then hands the pieces to the recover
+// driver instead of a single solver run. Lifecycles always use the serial
+// kernel: fault injection forces it, and the fault-free arms must be
+// number-identical to the faulted ones' clean prefixes.
+func runRecoveryCell(o Options, np int, strat ckpt.Strategy, segCkpts, work, ce int, spec *FaultSpec) recoveryCellOut {
+	k := sim.NewKernel()
+	rng := xrand.New(o.seed() ^ uint64(np)*0x9e37)
+	m, err := buildMachine(o, Job{NP: np}, k, rng, np)
+	if err != nil {
+		return recoveryCellOut{err: err}
+	}
+	fs, _, err := buildFS(o, m, o.FS)
+	if err != nil {
+		return recoveryCellOut{err: err}
+	}
+	servers := 0
+	if sc, ok := fs.(interface{ Servers() []*storage.Server }); ok {
+		servers = len(sc.Servers())
+	}
+	ncomp := m.NumNodes() + m.NumPsets() + servers
+	var inj *fault.Injector
+	if spec != nil {
+		if inj, err = attachFaults(k, m, fs, spec); err != nil {
+			return recoveryCellOut{err: err}
+		}
+	}
+	log := recover.NewLog(o.seed(), np)
+	if b, ok := fs.(interface {
+		OnLost(func(ion int, bytes int64, t float64))
+	}); ok {
+		// Burst-buffer tiers report unflushed-epoch loss into the manifest
+		// log: epochs sealed but not yet verified at loss time are torn.
+		b.OnLost(func(_ int, bytes int64, t float64) { log.BufferLoss(bytes, t) })
+	}
+	base := nekcem.RunConfig{
+		Mesh: nekcem.PaperMesh(np), Strategy: strat, Synthetic: true,
+		SkipPresetup: true, PayloadFactor: nekcem.PaperPayloadFactor,
+		Compute: nekcem.DefaultComputeModel(),
+	}
+	if inj != nil {
+		base.RankUp = func(rank int) bool { return inj.Up(fault.Node, m.NodeOfRank(rank)) }
+	}
+	res, err := recover.Run(k, recover.Config{
+		FS:       fs,
+		NewWorld: func() *mpi.World { return mpi.NewWorld(m, mpi.DefaultConfig()) },
+		Base:     base,
+		Log:      log, Work: work, CheckpointEvery: ce, SegmentCkpts: segCkpts,
+		Dir: "ckpt", Injector: inj,
+		Nodes: m.NumNodes(), IONs: m.NumPsets(), Servers: servers,
+	})
+	if err != nil {
+		return recoveryCellOut{err: err}
+	}
+	out := recoveryCellOut{res: res, ncomp: ncomp}
+	if inj != nil {
+		out.kills = recover.ClassifyKills(log, inj.Schedule(), res.End)
+	}
+	return out
+}
+
+// RecoveryStudy measures closed-loop recovery for each strategy family:
+// one fault-free lifecycle (calibrating the Daly constants and the fault
+// horizon), then one lifecycle per MTBF rung with sampled kills, each
+// rollback really scanning manifests and re-reading the picked epoch
+// through the storage stack. Measured makespans sit next to the Daly
+// prediction computed from the same cell's constants, so the gap is the
+// part the first-order model does not carry (repair waits, detection lag,
+// torn-epoch rework).
+func RecoveryStudy(o Options, np int, mtbfHours float64, work, epochs int) ([]RecoveryRow, error) {
+	if work <= 0 {
+		return nil, fmt.Errorf("exp: recovery needs a positive work budget, got %d", work)
+	}
+	if epochs <= 0 {
+		return nil, fmt.Errorf("exp: recovery needs a positive epoch count, got %d", epochs)
+	}
+	ce := work / epochs
+	if ce < 1 {
+		ce = 1
+	}
+	families := recoveryFamilies(np)
+
+	// Stage 1: fault-free arms, one per family, in parallel.
+	free := make([]recoveryCellOut, len(families))
+	runPool(o.workers(), len(families), func(i int) {
+		free[i] = runRecoveryCell(o, np, families[i].Strategy, families[i].SegCkpts, work, ce, nil)
+	})
+	for i, c := range free {
+		if c.err != nil {
+			return nil, fmt.Errorf("exp: recovery %s fault-free: %w", families[i].Strategy.Name(), c.err)
+		}
+	}
+
+	// Stage 2: the MTBF ladder, horizon sized from each family's fault-free
+	// makespan so sampled schedules cover even heavily-stretched lifecycles.
+	cells := make([]recoveryCellOut, len(families)*len(recoveryMultipliers))
+	runPool(o.workers(), len(cells), func(idx int) {
+		fi, ri := idx/len(recoveryMultipliers), idx%len(recoveryMultipliers)
+		horizon := 25 * free[fi].res.Makespan
+		if horizon < 600 {
+			horizon = 600
+		}
+		if horizon > 3600 {
+			horizon = 3600
+		}
+		seed := o.seed()
+		seed ^= uint64(fi+1) * 0xbf58476d1ce4e5b9
+		seed ^= uint64(ri+1) * 0x94d049bb133111eb
+		cells[idx] = runRecoveryCell(o, np, families[fi].Strategy, families[fi].SegCkpts, work, ce, &FaultSpec{
+			MTBF: mtbfHours * 3600 * recoveryMultipliers[ri], MTTR: 60, Shape: 1.2,
+			Horizon: horizon, Seed: seed,
+		})
+	})
+
+	var rows []RecoveryRow
+	for fi, fam := range families {
+		f := free[fi]
+		tau := float64(ce) * f.res.ComputeStep
+		workSec := float64(work) * f.res.ComputeStep
+		// A checkpoint step's measured time includes its solver step; the
+		// Daly C is the overhead above compute.
+		c0 := f.res.MeanCkpt() - f.res.ComputeStep
+		if c0 < 0 {
+			c0 = 0
+		}
+		rows = append(rows, RecoveryRow{
+			Strategy: fam.Strategy.Name(), NP: np, Work: work,
+			Tau: tau, C: c0,
+			Makespan: f.res.Makespan,
+			// With no failures the model degenerates to work plus the
+			// checkpoint bill.
+			Daly:     workSec + float64(f.res.CkptCount)*c0,
+			Segments: f.res.Segments,
+		})
+		for ri, mult := range recoveryMultipliers {
+			cell := cells[fi*len(recoveryMultipliers)+ri]
+			if cell.err != nil {
+				return nil, fmt.Errorf("exp: recovery %s x%g: %w", fam.Strategy.Name(), mult, cell.err)
+			}
+			r := cell.res
+			M := mtbfHours * 3600 * mult / float64(cell.ncomp)
+			C := c0
+			if r.CkptCount > 0 && r.ComputeStep > 0 {
+				if c := r.MeanCkpt() - r.ComputeStep; c > 0 {
+					C = c
+				}
+			}
+			R := 0.0
+			if r.Rollbacks > 0 {
+				R = (r.ScanTime + r.RestartTime) / float64(r.Rollbacks)
+			}
+			// Daly's first-order expected makespan at the interval the
+			// lifecycle actually used.
+			daly := M * math.Exp(R/M) * (math.Exp((tau+C)/M) - 1) * (workSec / tau)
+			rows = append(rows, RecoveryRow{
+				Strategy: fam.Strategy.Name(), NP: np,
+				MTBFHours: mtbfHours * mult, SysMTBF: M,
+				Work: work, Tau: tau, C: C, R: R,
+				Makespan: r.Makespan, Daly: daly,
+				Segments: r.Segments, Rollbacks: r.Rollbacks,
+				Torn: r.TornSeen, Rework: r.ReworkSteps,
+				WaitSec: r.WaitTime, Kills: cell.kills,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// runPool executes n index jobs on a bounded worker pool. Results land in
+// caller-owned slots, so the outcome is independent of the worker count.
+func runPool(workers, n int, run func(i int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				run(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// RecoveryTable renders the recovery study.
+func RecoveryTable(rows []RecoveryRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		mtbf, sys := "-", "-"
+		if r.MTBFHours > 0 {
+			mtbf = fmt.Sprintf("%.1f", r.MTBFHours)
+			sys = fmt.Sprintf("%.0f", r.SysMTBF)
+		}
+		out = append(out, []string{
+			r.Strategy, fmt.Sprint(r.NP), mtbf, sys,
+			fmt.Sprintf("%.2f", r.C), fmt.Sprintf("%.2f", r.R),
+			fmt.Sprintf("%.1f", r.Makespan), fmt.Sprintf("%.1f", r.Daly),
+			fmt.Sprintf("%.2fx", r.Makespan/r.Daly),
+			fmt.Sprint(r.Rollbacks), fmt.Sprint(r.Torn), fmt.Sprint(r.Rework),
+			fmt.Sprintf("%d/%d/%d", r.Kills.MidEpochTorn, r.Kills.MidEpochSealed, r.Kills.Idle),
+		})
+	}
+	return FormatTable([]string{
+		"strategy", "np", "mtbf/comp (h)", "sys mtbf (s)", "C (s)", "R (s)",
+		"measured (s)", "daly (s)", "ratio", "rollbacks", "torn", "rework",
+		"kills t/s/i",
+	}, out)
+}

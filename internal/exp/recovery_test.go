@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestRecoveryStudySmoke runs a small closed-loop lifecycle study and checks
+// the shape of the result: one fault-free row plus one row per MTBF rung for
+// each of the four strategy families, with measured makespans and Daly
+// predictions populated.
+func TestRecoveryStudySmoke(t *testing.T) {
+	rows, err := RecoveryStudy(New(Seed(1), Parallel(4)), 256, 6, 24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * (1 + len(recoveryMultipliers))
+	if len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	families := map[string]int{}
+	for _, r := range rows {
+		families[r.Strategy]++
+		if r.Makespan <= 0 {
+			t.Errorf("%s mtbf=%g: measured makespan %g", r.Strategy, r.MTBFHours, r.Makespan)
+		}
+		if r.Daly <= 0 {
+			t.Errorf("%s mtbf=%g: Daly prediction %g", r.Strategy, r.MTBFHours, r.Daly)
+		}
+		if r.MTBFHours == 0 {
+			// Fault-free arm: the lifecycle must be clean.
+			if r.Rollbacks != 0 || r.Torn != 0 {
+				t.Errorf("%s fault-free arm rolled back: %+v", r.Strategy, r)
+			}
+			if r.C <= 0 {
+				t.Errorf("%s fault-free arm measured no checkpoint cost", r.Strategy)
+			}
+		} else if r.SysMTBF <= 0 {
+			t.Errorf("%s mtbf=%g: no system MTBF", r.Strategy, r.MTBFHours)
+		}
+	}
+	if len(families) != 4 {
+		t.Fatalf("families covered: %v, want 4", families)
+	}
+	for name, n := range families {
+		if n != 1+len(recoveryMultipliers) {
+			t.Errorf("family %s has %d rows, want %d", name, n, 1+len(recoveryMultipliers))
+		}
+	}
+	tbl := RecoveryTable(rows)
+	for _, col := range []string{"strategy", "sys mtbf (s)", "measured (s)", "daly (s)", "ratio", "kills t/s/i"} {
+		if !strings.Contains(tbl, col) {
+			t.Errorf("table missing column %q:\n%s", col, tbl)
+		}
+	}
+}
+
+// TestRecoveryStudyParallelDeterministic: the recovery table is identical at
+// any worker-pool size (the acceptance contract for -exp recovery under
+// -parallel).
+func TestRecoveryStudyParallelDeterministic(t *testing.T) {
+	run := func(par int) string {
+		rows, err := RecoveryStudy(New(Seed(2), Parallel(par)), 256, 6, 24, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RecoveryTable(rows)
+	}
+	serial := run(1)
+	if par4 := run(4); par4 != serial {
+		t.Fatalf("recovery study depends on the worker count:\nserial:\n%s\npar4:\n%s", serial, par4)
+	}
+}
+
+// TestManifestRecordingGoldenIdentity pins the determinism contract of the
+// epoch-manifest layer: a checkpoint run with manifest recording attached is
+// byte-identical to the same run without it, verified against the
+// pre-manifest machine goldens at both headline experiments.
+func TestManifestRecordingGoldenIdentity(t *testing.T) {
+	for _, np := range []int{2048, 4096} {
+		for _, seed := range []uint64{1, 3} {
+			if testing.Short() && np > 2048 {
+				continue
+			}
+			name := fmt.Sprintf("np%d_seed%d", np, seed)
+			for _, par := range []int{1, 4} {
+				np, seed, par := np, seed, par
+				t.Run(fmt.Sprintf("fig5_%s_par%d", name, par), func(t *testing.T) {
+					t.Parallel()
+					rows, err := Headline(Options{Seed: seed, NPs: []int{np}, Parallel: par, Manifests: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkGolden(t, "machine_fig5_"+name+".golden", Fig5Table(rows))
+				})
+				t.Run(fmt.Sprintf("fscompare_%s_par%d", name, par), func(t *testing.T) {
+					t.Parallel()
+					rows, err := FSComparison(Options{Seed: seed, NPs: []int{np}, Parallel: par, Manifests: true}, np)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkGolden(t, "machine_fscompare_"+name+".golden", FSComparisonTable(rows))
+				})
+			}
+		}
+	}
+}

@@ -82,6 +82,12 @@ type Session struct {
 	// Workload is the workload experiment's generator spec (driver
 	// -workload flag; "" means cluster.DefaultWorkload).
 	Workload string
+	// Work is the recovery lifecycle's solver-step budget (driver -work
+	// flag; 0 means the default 120).
+	Work int
+	// Epochs is the recovery lifecycle's checkpoint-epoch count over that
+	// budget (driver -epochs flag; 0 means the default 12).
+	Epochs int
 
 	headline     []HeadlineRow
 	headlineErr  error
@@ -128,6 +134,20 @@ func (s *Session) mtbf() float64 {
 		return s.MTBF
 	}
 	return 6
+}
+
+func (s *Session) work() int {
+	if s.Work > 0 {
+		return s.Work
+	}
+	return 120
+}
+
+func (s *Session) epochs() int {
+	if s.Epochs > 0 {
+		return s.Epochs
+	}
+	return 12
 }
 
 func (s *Session) printf(format string, args ...any) {
@@ -349,6 +369,18 @@ func init() {
 				return err
 			}
 			s.printf("== Extension: expected makespan (Daly model on measured C and R) ==\n%s\n", MakespanTable(rows))
+			return nil
+		},
+	})
+	Register(Descriptor{
+		Name: "recovery", Doc: "closed-loop checkpoint/restart lifecycle: measured makespan vs the Daly model",
+		Flags: "-mtbf, -epochs, -work, -np",
+		Run: func(s *Session) error {
+			rows, err := RecoveryStudy(s.Opts, s.NPOr(2048), s.mtbf(), s.work(), s.epochs())
+			if err != nil {
+				return err
+			}
+			s.printf("== Extension: closed-loop recovery — measured makespan vs the Daly model ==\n%s\n", RecoveryTable(rows))
 			return nil
 		},
 	})

@@ -337,3 +337,29 @@ func (s Schedule) Horizon() float64 {
 	}
 	return s[len(s)-1].Time
 }
+
+// FailsIn returns the class's Fail events with time in (t0, t1], in
+// schedule order. The recovery lifecycle driver uses it to detect whether a
+// kill hit a running segment — a pure query against the fixed schedule, so
+// detection is as deterministic as the injection itself.
+func (s Schedule) FailsIn(cl Class, t0, t1 float64) []Event {
+	var out []Event
+	for _, ev := range s {
+		if ev.Kind == Fail && ev.Class == cl && ev.Time > t0 && ev.Time <= t1 {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// NextRestore returns the earliest Restore event for the component strictly
+// after t, for health-wait scheduling. ok is false when the component never
+// restores (a permanent failure).
+func (s Schedule) NextRestore(cl Class, idx int, t float64) (float64, bool) {
+	for _, ev := range s {
+		if ev.Kind == Restore && ev.Class == cl && ev.Index == idx && ev.Time > t {
+			return ev.Time, true
+		}
+	}
+	return 0, false
+}

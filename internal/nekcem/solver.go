@@ -58,6 +58,11 @@ type RunConfig struct {
 	// ckpt.DefaultPeerTimeout).
 	PeerTimeout float64
 
+	// Epochs, when set, receives two-phase epoch commit records from every
+	// checkpoint step (see ckpt.EpochSink). Recording is free in simulated
+	// time, so runs with and without a sink are byte-identical.
+	Epochs ckpt.EpochSink
+
 	// StartAt delays every rank's first action until the given absolute
 	// simulated time. Multi-tenant sessions use it to stagger job arrivals
 	// on a shared kernel; zero (the default) starts immediately.
@@ -207,7 +212,7 @@ func Launch(w *mpi.World, fs fsys.System, cfg RunConfig) (*Pending, error) {
 		left: np,
 	}
 	res := pe.res
-	env := &ckpt.Env{FS: fs, Dir: cfg.Dir, Log: cfg.Log, RankUp: cfg.RankUp, PeerTimeout: cfg.PeerTimeout}
+	env := &ckpt.Env{FS: fs, Dir: cfg.Dir, Log: cfg.Log, RankUp: cfg.RankUp, PeerTimeout: cfg.PeerTimeout, Epochs: cfg.Epochs}
 	// Ranks on different partition lanes of a sharded kernel run on
 	// different OS threads; everything they merge into across ranks is
 	// guarded by one mutex. Every merged quantity commutes (min/max,

@@ -48,13 +48,16 @@ const (
 	// LayerCompute is the application proxy's computation between
 	// checkpoints.
 	LayerCompute
+	// LayerRecovery is the checkpoint/restart lifecycle: manifest scans,
+	// torn-epoch detection, rollback decisions, and re-executed work.
+	LayerRecovery
 
 	// NumLayers bounds the enum; arrays indexed by Layer use this size.
 	NumLayers
 )
 
 var layerNames = [NumLayers]string{
-	"kernel", "mpi", "fabric", "storage", "bbuf", "ckpt", "compute",
+	"kernel", "mpi", "fabric", "storage", "bbuf", "ckpt", "compute", "recovery",
 }
 
 // String returns the layer's lowercase name.

@@ -126,3 +126,14 @@ func (r *RNG) Perm(n int) []int {
 	}
 	return p
 }
+
+// Hash64 is a stateless splitmix64-style mixing function. It is used where
+// a deterministic fingerprint of (seed, identity) is needed without touching
+// any RNG stream — e.g. checkpoint-block checksums, which must not perturb
+// the simulator's frozen stream-split order.
+func Hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
