@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test check bench bench-json fig5 storm recovery
+.PHONY: build test check bench bench-json fig5 storm recovery async
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,12 @@ fig5:
 # wall-clock plus the worst colliding/staggered penalties of the storm sweep.
 storm:
 	BENCH_JSON=. $(GO) test -run xxx -bench CkptStorm -benchtime 1x .
+
+# async records the asynchronous checkpoint frontier benchmark
+# (BENCH_Async.json): blocked-time win over the best sync arm, flush tail,
+# and staleness price at 2048 ranks.
+async:
+	BENCH_JSON=. $(GO) test -run xxx -bench AsyncFrontier -benchtime 1x .
 
 # recovery records the closed-loop checkpoint/restart lifecycle benchmark
 # (BENCH_Recovery.json): the measured-vs-Daly study at 2048 ranks, all four

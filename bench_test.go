@@ -877,3 +877,55 @@ func BenchmarkCkptStorm(b *testing.B) {
 		},
 	})
 }
+
+// BenchmarkAsyncFrontier records the asynchronous checkpoint frontier at
+// 2048 ranks: the blocked-time collapse against the best sync arm, the
+// background flush tail, and the staleness price under injected kills
+// (BENCH_Async.json via `make async`).
+func BenchmarkAsyncFrontier(b *testing.B) {
+	perf.TuneGC()
+	var rows []exp.AsyncFrontierRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.AsyncFrontier(opts(), 2048, 6, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	report(b, "AsyncFrontier: blocked time vs makespan vs staleness @2048", exp.AsyncFrontierTable(rows))
+	var asyncBlocked, bestSync, flushTail, asyncStale, syncStale float64
+	bestSync = 1e18
+	for _, r := range rows {
+		if r.Strategy == "async" {
+			asyncBlocked = r.BlockedSec
+			flushTail = r.FlushSec
+			asyncStale = r.AvgStaleSec
+		} else {
+			if r.BlockedSec < bestSync {
+				bestSync = r.BlockedSec
+			}
+			if r.AvgStaleSec > syncStale {
+				syncStale = r.AvgStaleSec
+			}
+		}
+	}
+	blockedWin := 0.0
+	if asyncBlocked > 0 {
+		blockedWin = bestSync / asyncBlocked
+	}
+	b.ReportMetric(blockedWin, "blocked-win-x")
+	b.ReportMetric(flushTail, "flush-tail-s")
+	emitBench(b, "Async", perf.Benchmark{
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Extra: map[string]float64{
+			"async_blocked_s":     asyncBlocked,
+			"best_sync_blocked_s": bestSync,
+			"blocked_win_x":       blockedWin,
+			"flush_tail_s":        flushTail,
+			"async_avg_stale_s":   asyncStale,
+			"sync_avg_stale_s":    syncStale,
+		},
+	})
+}

@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/cluster"
 	"repro/internal/exp"
 	"repro/internal/fsys"
@@ -46,6 +47,7 @@ func main() {
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "experiment worker-pool size (1 = serial); results are identical at any setting")
 		shards    = flag.Int("shards", 0, "partitioned-kernel lane workers inside each simulation (0 or 1 = serial kernel); results are identical at any setting")
 		fsName    = flag.String("fs", "gpfs", "storage backend for checkpoint experiments: gpfs, pvfs, bbuf (fscompare, drainoverlap and the GPFS-knob ablations/priorwork pick their own backends)")
+		ckptName  = flag.String("ckpt", "", "restrict the headline sweeps (fig5/fig6/fig7) to one ckpt-registry strategy: 1pfpp, coio1, coio, rbio1, rbio, multilevel, async (\"\" = all five headline arms)")
 		machName  = flag.String("machine", "", "machine preset for checkpoint experiments: intrepid (default), bgl, fattree, dragonfly (priorwork pins its own machines)")
 		mapName   = flag.String("map", "", "rank->node placement policy override: txyz (machine default), xyzt, blocked, roundrobin, random")
 		mtbf      = flag.Float64("mtbf", 6, "per-component MTBF in hours for the fault experiments (faultsweep, makespan, recovery)")
@@ -95,6 +97,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if err := validateCkptFlag(*ckptName); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if _, ok := exp.LookupExperiment(*which); !ok && *which != "all" {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: all, list", *which)
 		for _, d := range exp.Experiments() {
@@ -111,6 +117,7 @@ func main() {
 		exp.Shards(*shards),
 		exp.Machine(*machName),
 		exp.Map(*mapName),
+		exp.Ckpt(*ckptName),
 	}
 	if *quiet {
 		opts = append(opts, exp.Quiet())
@@ -178,6 +185,16 @@ func validateLifecycleFlags(epochs, work int, set map[string]bool) error {
 		return fmt.Errorf("invalid -work %d (want >= 1; omit for the default 120)", work)
 	}
 	return nil
+}
+
+// validateCkptFlag rejects a -ckpt value the registry does not know; the
+// empty default means "all headline arms" and always passes.
+func validateCkptFlag(name string) error {
+	if name == "" {
+		return nil
+	}
+	_, err := ckpt.Lookup(name)
+	return err
 }
 
 // selects reports whether name picks descriptor d (by name or alias).

@@ -1,6 +1,27 @@
 package main
 
-import "testing"
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ckpt"
+)
+
+// TestValidateCkptFlag pins the -ckpt exit-2 surface: empty (all headline
+// arms), registry names, and aliases pass; unknown names fail with the
+// registry's typed error.
+func TestValidateCkptFlag(t *testing.T) {
+	for _, name := range []string{"", "rbio", "coio1", "async", "ml"} {
+		if err := validateCkptFlag(name); err != nil {
+			t.Errorf("validateCkptFlag(%q) = %v", name, err)
+		}
+	}
+	err := validateCkptFlag("mpiio")
+	var ue *ckpt.UnknownStrategyError
+	if !errors.As(err, &ue) {
+		t.Fatalf("unknown -ckpt returned %v, want *ckpt.UnknownStrategyError", err)
+	}
+}
 
 func TestValidateLifecycleFlags(t *testing.T) {
 	set := func(names ...string) map[string]bool {

@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	nekcem -np 16384 -steps 40 -ckpt-every 20 -strategy rbio
-//	nekcem -np 1024 -strategy coio -nf 16 -log trace.json
+//	nekcem -np 16384 -steps 40 -ckpt-every 20 -ckpt rbio
+//	nekcem -np 1024 -ckpt coio -nf 16 -log trace.json
+//	nekcem -np 4096 -ckpt async      # non-blocking checkpoints, background flush
 //	nekcem -np 64 -content           # real SEDG kernel, bit-exact restart check
 package main
 
@@ -23,7 +24,6 @@ import (
 	"repro/internal/iolog"
 	"repro/internal/machine"
 	"repro/internal/mpi"
-	"repro/internal/mpiio"
 	"repro/internal/nekcem"
 	"repro/internal/pvfs"
 	"repro/internal/recover"
@@ -36,7 +36,8 @@ func main() {
 		np       = flag.Int("np", 4096, "MPI ranks (power-of-two nodes, 4 ranks/node)")
 		steps    = flag.Int("steps", 20, "solver time steps")
 		every    = flag.Int("ckpt-every", 20, "checkpoint every N steps (0: never)")
-		strategy = flag.String("strategy", "rbio", "checkpoint strategy: 1pfpp, coio, rbio, rbio1, multilevel")
+		ckptName = flag.String("ckpt", "", "checkpoint strategy from the ckpt registry: 1pfpp, coio1, coio, rbio1, rbio, multilevel, async (default rbio)")
+		strategy = flag.String("strategy", "", "synonym for -ckpt (kept for older scripts)")
 		fsName   = flag.String("fs", "gpfs", "parallel file system model: gpfs or pvfs")
 		nf       = flag.Int("nf", 0, "coio: number of files (default np/64); rbio: np/ng group count")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
@@ -80,34 +81,9 @@ func main() {
 		mesh.N = *order
 	}
 
-	var strat ckpt.Strategy
-	switch *strategy {
-	case "1pfpp":
-		strat = ckpt.OnePFPP{}
-	case "coio":
-		files := *nf
-		if files == 0 {
-			files = *np / 64
-		}
-		strat = ckpt.CoIO{NumFiles: files, Hints: mpiio.DefaultHints()}
-	case "rbio":
-		s := ckpt.DefaultRbIO()
-		if *nf > 0 {
-			s.GroupSize = *np / *nf
-		}
-		strat = s
-	case "rbio1":
-		s := ckpt.DefaultRbIO()
-		s.SingleFile = true
-		s.Hints = mpiio.DefaultHints()
-		if *nf > 0 {
-			s.GroupSize = *np / *nf
-		}
-		strat = s
-	case "multilevel":
-		strat = ckpt.DefaultMultiLevel()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+	strat, err := resolveStrategy(*ckptName, *strategy, *np, *nf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -202,6 +178,9 @@ func main() {
 		if pb := c.PerceivedBandwidth(); pb > 0 {
 			fmt.Printf("  (perceived %.0f TB/s, workers blocked <= %.1f ms)", pb/1e12, c.MaxWorker*1e3)
 		}
+		if c.AsyncRanks > 0 {
+			fmt.Printf("  (solver blocked %.1f ms, flush durable %.2f s after snapshot)", c.BlockedTime()*1e3, c.MaxDurable-c.MaxEnd)
+		}
 		fmt.Println()
 	}
 	fmt.Printf("  files on %s: %d\n", fs.Name(), fs.NumFiles())
@@ -221,6 +200,34 @@ func main() {
 	if log != nil {
 		writeLog(log, *logPath)
 	}
+}
+
+// resolveStrategy builds the run's checkpoint strategy from the -ckpt flag
+// (falling back to the legacy -strategy spelling) via the ckpt registry. A
+// positive -nf refines the registry configuration: file count for coIO,
+// np:ng group count for rbIO; strategies without a file-count knob ignore
+// it, as before.
+func resolveStrategy(ckptName, legacy string, np, nf int) (ckpt.Strategy, error) {
+	name := ckptName
+	if name == "" {
+		name = legacy
+	}
+	d, err := ckpt.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	strat := d.New(np)
+	if nf > 0 {
+		switch s := strat.(type) {
+		case ckpt.CoIO:
+			s.NumFiles = nf
+			strat = s
+		case ckpt.RbIO:
+			s.GroupSize = np / nf
+			strat = s
+		}
+	}
+	return strat, nil
 }
 
 // setFlags returns the names of the flags the command line set explicitly.

@@ -1,0 +1,395 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"repro/internal/cemfmt"
+	"repro/internal/data"
+	"repro/internal/fabric"
+	"repro/internal/fsys"
+	"repro/internal/iolog"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Async is asynchronous aggregated checkpointing in the VELOC lineage
+// ("Towards Aggregated Asynchronous Checkpointing"): at a checkpoint step a
+// rank snapshots its fields to node-local memory at a memory-bandwidth rate
+// and immediately returns to the application — Write's blocking phase is
+// the snapshot alone. When the last member of a pset has snapshotted, a
+// background aggregation agent coalesces the pset's snapshots into one file
+// and flushes it through the shared storage stack while the solver
+// computes; the flush traffic contends on the same simulated links and
+// servers as everything else, which is the compute/flush interference the
+// frontier experiment measures.
+//
+// The deferred durability is visible, not hidden: Write returns Stats with
+// Async set and Durable zero, and the flush outcome (durable time, or a
+// genuine loss when a node dies holding an unflushed snapshot) arrives
+// through AsyncPlan.WaitDurable. Epoch commits are issued by the agent at
+// flush completion, so an epoch seals only when the data is actually on
+// storage — a killed node's unflushed snapshot permanently tears its epoch.
+type Async struct {
+	// LocalBW is the node-local snapshot bandwidth shared by a node's ranks
+	// (DDR2 share on BG/P-class hardware).
+	LocalBW float64
+	// LocalLatency is the per-snapshot local storage latency.
+	LocalLatency float64
+	// Slots is how many checkpoint steps a rank may keep in background
+	// flight before Write applies backpressure (blocks on the oldest
+	// flush). Zero means the default of 2.
+	Slots int
+	// Hints configure the collective restart read.
+	Hints mpiio.Hints
+}
+
+// DefaultAsync returns the headline configuration: RAM-disk-rate local
+// snapshots, two flush slots of lookahead per rank.
+func DefaultAsync() Async {
+	return Async{LocalBW: 1.4e9, LocalLatency: 20e-6, Slots: 2, Hints: mpiio.DefaultHints()}
+}
+
+// Name implements Strategy.
+func (s Async) Name() string { return fmt.Sprintf("async(agg,slots=%d)", s.slots()) }
+
+func (s Async) slots() int {
+	if s.Slots < 1 {
+		return 2
+	}
+	return s.Slots
+}
+
+// asyncFile names the aggregated output of one pset.
+func asyncFile(dir string, step int64, pset int) string {
+	return fmt.Sprintf("%s/step%06d.a%05d.nek", dir, step, pset)
+}
+
+// Plan implements Strategy: group the communicator by pset (the aggregation
+// domain — a pset's ranks funnel through one I/O node, so its agent
+// naturally owns their flush) and build the shared per-pset flight state.
+func (s Async) Plan(c *mpi.Comm, r *mpi.Rank) (Plan, error) {
+	me := c.Rank(r)
+	pset := r.World().M.PsetOfRank(r.ID())
+	shared := c.Shared(r, func() any { return buildAsyncShared(c, r) }).(*asyncShared)
+	group := c.Split(r, int64(pset), int64(me))
+	ps := shared.psets[pset]
+	return &asyncPlan{cfg: s, group: group, ps: ps, pset: pset, idx: ps.idxOf[me]}, nil
+}
+
+// asyncShared is the plan state all ranks of a communicator share. The pset
+// map is built once, before any checkpoint, and is read-only afterwards;
+// each pset's inner state is mutated only by that pset's own ranks (and its
+// agent), so under the partitioned kernel every mutation stays confined to
+// one partition.
+type asyncShared struct {
+	psets map[int]*asyncPset
+}
+
+// asyncPset is one aggregation domain: the member ranks (ascending
+// communicator order — also the chunk order in the aggregated file), their
+// per-node snapshot pipes, and the in-flight checkpoint steps.
+type asyncPset struct {
+	ranks   []int                  // communicator ranks, ascending
+	world   []int                  // world ranks, index-aligned with ranks
+	idxOf   map[int]int            // communicator rank -> member index
+	pipes   map[int]*fabric.Pipe   // node -> RAM snapshot pipe
+	flights map[int64]*asyncFlight // step -> accumulating flight
+}
+
+func buildAsyncShared(c *mpi.Comm, r *mpi.Rank) *asyncShared {
+	m := r.World().M
+	sh := &asyncShared{psets: map[int]*asyncPset{}}
+	for i := 0; i < c.Size(); i++ {
+		w := c.WorldRank(i)
+		pset := m.PsetOfRank(w)
+		ps := sh.psets[pset]
+		if ps == nil {
+			ps = &asyncPset{
+				idxOf:   map[int]int{},
+				pipes:   map[int]*fabric.Pipe{},
+				flights: map[int64]*asyncFlight{},
+			}
+			sh.psets[pset] = ps
+		}
+		ps.idxOf[i] = len(ps.ranks)
+		ps.ranks = append(ps.ranks, i)
+		ps.world = append(ps.world, w)
+	}
+	return sh
+}
+
+// asyncFlight is one checkpoint step's in-flight aggregation for one pset:
+// snapshots accumulate until every member has arrived, then the agent
+// flushes and fires done.
+type asyncFlight struct {
+	step       int64
+	hdrCp      *Checkpoint // representative: step, sim time, field names
+	chunkBytes []int64     // per member index
+	fields     [][]data.Buf
+	snapEnd    []float64
+	lost       []string // per-member loss reason ("" = live)
+	arrived    int
+	done       *sim.Signal
+	durable    float64 // when the flush landed on storage (0 if lost)
+	err        error   // non-fault flush failure, surfaced by WaitDurable
+}
+
+type asyncPlan struct {
+	cfg   Async
+	group *mpi.Comm // this pset's members (collective restart reads)
+	ps    *asyncPset
+	pset  int
+	idx   int // this rank's member index in ps
+
+	pending []*asyncFlight // flights this rank contributed to, oldest first
+	drained []FlushStats   // outcomes collected since the last WaitDurable
+}
+
+// nodePipe returns the snapshot pipe of the calling rank's node, so a
+// node's ranks contend for their shared memory bandwidth.
+func (pl *asyncPlan) nodePipe(r *mpi.Rank) *fabric.Pipe {
+	node := r.World().M.NodeOfRank(r.ID())
+	pipe := pl.ps.pipes[node]
+	if pipe == nil {
+		lat := pl.cfg.LocalLatency
+		if lat <= 0 {
+			lat = 20e-6
+		}
+		bw := pl.cfg.LocalBW
+		if bw <= 0 {
+			bw = 1.4e9
+		}
+		pipe = fabric.NewPipe(fmt.Sprintf("snap/n%d", node), lat, bw)
+		pl.ps.pipes[node] = pipe
+	}
+	return pipe
+}
+
+// Write implements Plan: the blocking phase is the node-local snapshot.
+func (pl *asyncPlan) Write(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, error) {
+	if _, err := cp.ChunkBytes(); err != nil {
+		return Stats{}, err
+	}
+	p := r.Proc()
+	start := r.Now()
+	// Backpressure: only slots steps may be in background flight; past
+	// that, Write blocks on the oldest flush like a sync strategy would.
+	for len(pl.pending) >= pl.cfg.slots() {
+		if err := pl.drainOldest(r); err != nil {
+			return Stats{}, err
+		}
+	}
+	if env.FaultAware() && !env.Up(r.ID()) {
+		// A dead rank snapshots nothing, but still "arrives" so the pset's
+		// flight completes and the agent can fire; its chunk is recorded
+		// lost at flush time.
+		now := r.Now()
+		pl.arrive(env, r, cp, now, "node down")
+		return Stats{Role: RoleAll, Start: now, End: now, Skipped: true, DeadRank: true}, nil
+	}
+	_, end := pl.nodePipe(r).Transfer(r.Now(), cp.TotalBytes())
+	p.SleepUntil(end)
+	if rec := p.Rec(); rec != nil {
+		rec.Span(trace.LayerAsync, "async.snapshot", r.ID(), start, r.Now(), cp.TotalBytes())
+	}
+	env.log(r.ID(), iolog.OpWrite, start, r.Now(), cp.TotalBytes())
+	fl := pl.arrive(env, r, cp, r.Now(), "")
+	pl.pending = append(pl.pending, fl)
+	now := r.Now()
+	return Stats{
+		Role:      RoleAll,
+		Start:     start,
+		End:       now,
+		Perceived: now - start,
+		Bytes:     cp.TotalBytes(),
+		Async:     true,
+	}, nil
+}
+
+// arrive records this rank's contribution to the step's flight; the last
+// arrival spawns the pset's background aggregation agent.
+func (pl *asyncPlan) arrive(env *Env, r *mpi.Rank, cp *Checkpoint, snapEnd float64, lostReason string) *asyncFlight {
+	ps := pl.ps
+	fl := ps.flights[cp.Step]
+	if fl == nil {
+		n := len(ps.ranks)
+		fl = &asyncFlight{
+			step:       cp.Step,
+			hdrCp:      cp,
+			chunkBytes: make([]int64, n),
+			fields:     make([][]data.Buf, len(cp.Fields)),
+			snapEnd:    make([]float64, n),
+			lost:       make([]string, n),
+			done:       &sim.Signal{},
+		}
+		for fi := range fl.fields {
+			fl.fields[fi] = make([]data.Buf, n)
+		}
+		ps.flights[cp.Step] = fl
+	}
+	fl.snapEnd[pl.idx] = snapEnd
+	if lostReason != "" {
+		fl.lost[pl.idx] = lostReason
+	} else {
+		fl.chunkBytes[pl.idx] = cp.Fields[0].Data.Len()
+		for fi := range cp.Fields {
+			fl.fields[fi][pl.idx] = cp.Fields[fi].Data
+		}
+	}
+	fl.arrived++
+	if fl.arrived == len(ps.ranks) {
+		delete(ps.flights, cp.Step)
+		pl.spawnAgent(env, r, fl)
+	}
+	return fl
+}
+
+// spawnAgent starts the background flush for a completed flight, in the
+// calling rank's partition so the flight state stays partition-confined.
+func (pl *asyncPlan) spawnAgent(env *Env, r *mpi.Rank, fl *asyncFlight) {
+	p := r.Proc()
+	p.Kernel().GoPart(p.Part(), fmt.Sprintf("async.agent/ps%d.s%d", pl.pset, fl.step),
+		func(fp *sim.Proc) {
+			pl.flush(env, fp, fl)
+			fl.done.Fire()
+		})
+}
+
+// flush is the agent body: settle per-member liveness, commit the
+// aggregated file through the shared storage stack, and seal (or tear) the
+// epoch at the durable point.
+func (pl *asyncPlan) flush(env *Env, fp *sim.Proc, fl *asyncFlight) {
+	ps := pl.ps
+	t0 := fp.Now()
+	var total int64
+	for i, w := range ps.world {
+		// A member whose node died after snapshotting holds its only copy
+		// in dead RAM: genuinely lost, exactly the staleness async trades
+		// for its short blocked phase.
+		if fl.lost[i] == "" && env.FaultAware() && !env.Up(w) {
+			fl.lost[i] = "node lost before flush"
+		}
+		if fl.lost[i] != "" {
+			// Zero-length chunk: the file stays structurally valid and
+			// restart knows exactly which ranks lost their state.
+			fl.chunkBytes[i] = 0
+			for fi := range fl.fields {
+				fl.fields[fi][i] = data.Buf{}
+			}
+			continue
+		}
+		total += fl.chunkBytes[i] * int64(len(fl.fields))
+	}
+	err := pl.commit(env, fp, fl)
+	now := fp.Now()
+	if err != nil {
+		if !fsys.Unavailable(err) {
+			fl.err = err
+			return
+		}
+		// Dead storage: the step completes but nothing from this pset is
+		// durable.
+		for i := range ps.world {
+			if fl.lost[i] == "" {
+				fl.lost[i] = "storage unavailable"
+			}
+		}
+	} else {
+		fl.durable = now
+	}
+	for i, w := range ps.world {
+		if fl.lost[i] != "" {
+			env.epochLost(LevelGlobal, fl.step, w, fl.lost[i], now)
+		} else {
+			env.epochCommit(LevelGlobal, fl.step, w, len(fl.fields), now)
+		}
+	}
+	if rec := fp.Rec(); rec != nil {
+		rec.Span(trace.LayerAsync, "async.flush", pl.pset, t0, now, total)
+	}
+}
+
+// commit writes the pset's aggregated file: one header, then one coalesced
+// write per field holding every member's chunk, reported as the agent (the
+// pset's first member) on the members' behalf.
+func (pl *asyncPlan) commit(env *Env, fp *sim.Proc, fl *asyncFlight) error {
+	agg := pl.ps.world[0]
+	path := asyncFile(env.Dir, fl.step, pl.pset)
+	t0 := fp.Now()
+	h, err := env.FS.Create(fp, agg, path)
+	if err != nil {
+		return fmt.Errorf("ckpt/async: %w", err)
+	}
+	env.log(agg, iolog.OpCreate, t0, fp.Now(), 0)
+
+	hdr := buildHeader(fl.hdrCp, fl.chunkBytes)
+	t1 := fp.Now()
+	if err := h.WriteAt(fp, agg, 0, data.FromBytes(hdr.Marshal())); err != nil {
+		return err
+	}
+	env.log(agg, iolog.OpWrite, t1, fp.Now(), hdr.HeaderSize())
+
+	for fi, name := range hdr.Fields {
+		payload := data.Concat(append(
+			[]data.Buf{data.FromBytes(cemfmt.BlockHeader(name, hdr.FieldBytes()))},
+			fl.fields[fi]...)...)
+		t2 := fp.Now()
+		if err := h.WriteAt(fp, agg, hdr.FieldOffset(fi), payload); err != nil {
+			return err
+		}
+		env.log(agg, iolog.OpWrite, t2, fp.Now(), payload.Len())
+		env.epochBlock(LevelGlobal, fl.step, agg, path, hdr.FieldOffset(fi),
+			cemfmt.BlockHeaderSize+hdr.FieldBytes(), fp.Now())
+	}
+
+	t3 := fp.Now()
+	if err := h.Close(fp, agg); err != nil {
+		return err
+	}
+	env.log(agg, iolog.OpClose, t3, fp.Now(), 0)
+	return nil
+}
+
+// drainOldest blocks on the oldest pending flight and banks its outcome.
+func (pl *asyncPlan) drainOldest(r *mpi.Rank) error {
+	fl := pl.pending[0]
+	pl.pending = pl.pending[1:]
+	fl.done.Wait(r.Proc())
+	if fl.err != nil {
+		return fl.err
+	}
+	fs := FlushStats{
+		Step:    fl.step,
+		Bytes:   fl.chunkBytes[pl.idx] * int64(len(fl.fields)),
+		SnapEnd: fl.snapEnd[pl.idx],
+		Durable: fl.durable,
+		Lost:    fl.lost[pl.idx] != "",
+	}
+	if fs.Lost {
+		fs.Durable = 0
+	}
+	pl.drained = append(pl.drained, fs)
+	return nil
+}
+
+// WaitDurable implements AsyncPlan: the drain barrier.
+func (pl *asyncPlan) WaitDurable(env *Env, r *mpi.Rank) ([]FlushStats, error) {
+	for len(pl.pending) > 0 {
+		if err := pl.drainOldest(r); err != nil {
+			return nil, err
+		}
+	}
+	out := pl.drained
+	pl.drained = nil
+	return out, nil
+}
+
+// Read implements Plan: restart is collective within each pset's group, one
+// aggregated file per pset.
+func (pl *asyncPlan) Read(env *Env, r *mpi.Rank, step int64) (*Checkpoint, error) {
+	return readChunkCollective(env, pl.group, r, pl.cfg.Hints, asyncFile(env.Dir, step, pl.pset), pl.group.Rank(r))
+}
+
+var _ AsyncPlan = (*asyncPlan)(nil)

@@ -129,6 +129,12 @@ type Stats struct {
 	// MissingChunks is, on an rbIO writer, how many group members' chunks
 	// never arrived (dead or timed-out peers) and were recorded as lost.
 	MissingChunks int
+
+	// Async reports that Write returned before the rank's data was durable:
+	// Durable is zero here and the flush outcome arrives later through
+	// AsyncPlan.WaitDurable. Blocked() is then only the snapshot phase; the
+	// background flush time lives in the matching FlushStats.
+	Async bool
 }
 
 // Blocked returns how long the application was blocked on this rank.
@@ -186,13 +192,61 @@ type Strategy interface {
 }
 
 // Plan is a rank's prepared checkpointing pipeline.
+//
+// The lifecycle has two phases. The blocking snapshot phase is Write: for
+// the synchronous strategies it carries the data all the way to durable
+// storage; an asynchronous strategy may return as soon as the rank's data
+// is staged (Stats.Async set, Stats.Durable zero). The optional flush
+// phase is AsyncPlan: callers that care about durability — the solver
+// loop, the recovery driver — drain it with WaitDurable before trusting
+// the step.
 type Plan interface {
-	// Write performs one coordinated checkpoint step.
+	// Write performs one coordinated checkpoint step. It blocks the rank
+	// for exactly as long as the application would be blocked: through
+	// durability for synchronous strategies, only through the local
+	// snapshot for asynchronous ones.
 	Write(env *Env, r *mpi.Rank, cp *Checkpoint) (Stats, error)
 	// Read restores this rank's chunk of the checkpoint written at the
 	// given step. Field payloads are real if the file holds content,
 	// synthetic (correct sizes) for paper-scale runs.
 	Read(env *Env, r *mpi.Rank, step int64) (*Checkpoint, error)
+}
+
+// FlushStats is one step's background-flush outcome for one rank, returned
+// by AsyncPlan.WaitDurable. It is the deferred half of the Stats the rank
+// got back from Write: where Stats measures the blocked snapshot phase,
+// FlushStats measures the time-to-durability that elapsed behind the
+// solver's back.
+type FlushStats struct {
+	Step    int64
+	Bytes   int64   // this rank's bytes the flush made durable
+	SnapEnd float64 // when the rank's blocking snapshot phase ended
+	Durable float64 // when the flush landed on storage (0 if lost)
+	// Lost reports the snapshot never became durable: the rank's node died
+	// holding it, or the storage refused the aggregated commit.
+	Lost bool
+}
+
+// FlushSec returns the background flush time: how long after the rank
+// resumed computing its data stayed in flight (0 for a lost flush).
+func (f FlushStats) FlushSec() float64 {
+	if f.Lost || f.Durable <= f.SnapEnd {
+		return 0
+	}
+	return f.Durable - f.SnapEnd
+}
+
+// AsyncPlan is the optional asynchronous extension of Plan. A strategy
+// whose Write returns before durability implements it; WaitDurable is the
+// drain barrier that closes the lifecycle.
+type AsyncPlan interface {
+	Plan
+	// WaitDurable blocks the calling rank until every snapshot it has
+	// contributed since the last call is durable or known lost, and
+	// returns one FlushStats per drained step, oldest first. The rank's
+	// clock on return is its drain tail: max(flush completion) across its
+	// outstanding steps.
+	WaitDurable(env *Env, r *mpi.Rank) ([]FlushStats, error)
 }
 
 // rankFile names the 1PFPP output of one rank.

@@ -1,0 +1,199 @@
+package ckpt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mpiio"
+)
+
+// Descriptor describes one registered checkpoint strategy: a stable name
+// for CLIs and experiment tables, the paper's legend label, and a factory
+// that builds the strategy for a given processor count (some strategies —
+// coIO's np:nf=64:1 arm — scale a knob with np).
+//
+// The registry mirrors the fsys backend and machine registries: strategy
+// lists everywhere (experiments, cluster workloads, both CLIs) derive from
+// one place instead of scattered struct literals.
+type Descriptor struct {
+	// Name is the canonical registry key ("rbio", "coio1", ...).
+	Name string
+	// Label is the paper's legend string for headline tables ("rbIO,
+	// np:ng=64:1, nf=ng").
+	Label string
+	// Doc is a one-line description for CLI listings.
+	Doc string
+	// Aliases are alternative lookup names.
+	Aliases []string
+	// New builds the strategy for an np-rank run.
+	New func(np int) Strategy
+}
+
+var (
+	strategies    = map[string]Descriptor{}
+	strategyAlias = map[string]string{} // alias -> canonical name
+	strategyOrder []string
+)
+
+// Register installs a strategy descriptor. Registering an empty name, a nil
+// factory, or a name/alias that collides with an existing one is a wiring
+// bug and panics.
+func Register(d Descriptor) {
+	if d.Name == "" {
+		panic("ckpt: Register with empty strategy name")
+	}
+	if d.New == nil {
+		panic("ckpt: Register with nil factory for " + d.Name)
+	}
+	if _, dup := strategies[d.Name]; dup {
+		panic("ckpt: duplicate strategy registration: " + d.Name)
+	}
+	if _, dup := strategyAlias[d.Name]; dup {
+		panic("ckpt: strategy name collides with an alias: " + d.Name)
+	}
+	for _, a := range d.Aliases {
+		if a == "" {
+			panic("ckpt: empty alias for strategy " + d.Name)
+		}
+		if _, dup := strategies[a]; dup {
+			panic("ckpt: alias collides with a strategy name: " + a)
+		}
+		if _, dup := strategyAlias[a]; dup {
+			panic("ckpt: duplicate strategy alias: " + a)
+		}
+	}
+	strategies[d.Name] = d
+	for _, a := range d.Aliases {
+		strategyAlias[a] = d.Name
+	}
+	strategyOrder = append(strategyOrder, d.Name)
+}
+
+// Strategies returns the registered descriptors in registration order.
+func Strategies() []Descriptor {
+	out := make([]Descriptor, 0, len(strategyOrder))
+	for _, name := range strategyOrder {
+		out = append(out, strategies[name])
+	}
+	return out
+}
+
+// DefaultStrategy is what an empty name resolves to (the paper's headline
+// configuration, matching the nekcem CLI default).
+const DefaultStrategy = "rbio"
+
+// UnknownStrategyError reports a strategy name that is not registered.
+type UnknownStrategyError struct {
+	Name  string
+	Known []string // sorted canonical names
+}
+
+func (e *UnknownStrategyError) Error() string {
+	return fmt.Sprintf("ckpt: unknown strategy %q (valid: %s)", e.Name, joinNames(e.Known))
+}
+
+func joinNames(s []string) string {
+	out := ""
+	for i, v := range s {
+		if i > 0 {
+			out += ", "
+		}
+		out += v
+	}
+	return out
+}
+
+// Lookup resolves a strategy name or alias to its descriptor. The empty
+// string resolves to DefaultStrategy; an unregistered name returns an
+// *UnknownStrategyError listing the valid choices.
+func Lookup(name string) (Descriptor, error) {
+	if name == "" {
+		name = DefaultStrategy
+	}
+	if canon, ok := strategyAlias[name]; ok {
+		name = canon
+	}
+	d, ok := strategies[name]
+	if !ok {
+		known := make([]string, 0, len(strategyOrder))
+		known = append(known, strategyOrder...)
+		sort.Strings(known)
+		return Descriptor{}, &UnknownStrategyError{Name: name, Known: known}
+	}
+	return d, nil
+}
+
+// New resolves a strategy name and builds it for an np-rank run.
+func New(name string, np int) (Strategy, error) {
+	d, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return d.New(np), nil
+}
+
+// MustNew is New for statically-known names; it panics on lookup failure.
+func MustNew(name string, np int) Strategy {
+	s, err := New(name, np)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// HeadlineNames are the paper's five Figure-5 configurations in legend
+// order; experiment sweeps derive both their strategy lists and their
+// labels from these descriptors.
+var HeadlineNames = []string{"1pfpp", "coio1", "coio", "rbio1", "rbio"}
+
+func init() {
+	Register(Descriptor{
+		Name:  "1pfpp",
+		Label: "1PFPP",
+		Doc:   "1 POSIX file per processor: every rank writes its own file",
+		New:   func(int) Strategy { return OnePFPP{} },
+	})
+	Register(Descriptor{
+		Name:  "coio1",
+		Label: "coIO, nf=1",
+		Doc:   "collective MPI-IO, all ranks into one shared file",
+		New: func(int) Strategy {
+			return CoIO{NumFiles: 1, Hints: mpiio.DefaultHints()}
+		},
+	})
+	Register(Descriptor{
+		Name:  "coio",
+		Label: "coIO, np:nf=64:1",
+		Doc:   "collective MPI-IO, one shared file per 64 ranks",
+		New: func(np int) Strategy {
+			return CoIO{NumFiles: np / 64, Hints: mpiio.DefaultHints()}
+		},
+	})
+	Register(Descriptor{
+		Name:  "rbio1",
+		Label: "rbIO, np:ng=64:1, nf=1",
+		Doc:   "reduced-blocking I/O, 64:1 groups, writers share one file",
+		New: func(int) Strategy {
+			return RbIO{GroupSize: 64, SingleFile: true, WriterBuffer: 512 << 20, BufferFields: true, Hints: mpiio.DefaultHints()}
+		},
+	})
+	Register(Descriptor{
+		Name:  "rbio",
+		Label: "rbIO, np:ng=64:1, nf=ng",
+		Doc:   "reduced-blocking I/O, 64:1 groups, one file per group (paper headline)",
+		New:   func(int) Strategy { return DefaultRbIO() },
+	})
+	Register(Descriptor{
+		Name:  "multilevel",
+		Label: "multilevel, local+rbIO/4",
+		Doc:   "SCR-style: RAM-disk every step, rbIO to the PFS every 4th",
+		Aliases: []string{"ml"},
+		New:   func(int) Strategy { return DefaultMultiLevel() },
+	})
+	Register(Descriptor{
+		Name:  "async",
+		Label: "async, node-agg flush",
+		Doc:   "asynchronous aggregated: RAM snapshot, per-pset background flush",
+		New:   func(int) Strategy { return DefaultAsync() },
+	})
+}

@@ -1,0 +1,128 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// mustPanicContains asserts fn panics with a message containing want.
+func mustPanicContains(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic (want one containing %q)", want)
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, want) {
+			t.Fatalf("panic %q, want it to contain %q", msg, want)
+		}
+	}()
+	fn()
+}
+
+// TestRegisterWiringBugsPanic pins Register's validation: every wiring bug
+// panics before any registry state is mutated, so the tests below can probe
+// all of them against the live registry.
+func TestRegisterWiringBugsPanic(t *testing.T) {
+	ok := func(int) Strategy { return OnePFPP{} }
+	for _, tc := range []struct {
+		want string
+		d    Descriptor
+	}{
+		{"empty strategy name", Descriptor{New: ok}},
+		{"nil factory", Descriptor{Name: "x-nilfactory"}},
+		{"duplicate strategy registration", Descriptor{Name: "rbio", New: ok}},
+		{"strategy name collides with an alias", Descriptor{Name: "ml", New: ok}},
+		{"alias collides with a strategy name", Descriptor{Name: "x-alias1", New: ok, Aliases: []string{"rbio"}}},
+		{"duplicate strategy alias", Descriptor{Name: "x-alias2", New: ok, Aliases: []string{"ml"}}},
+		{"empty alias", Descriptor{Name: "x-alias3", New: ok, Aliases: []string{""}}},
+	} {
+		mustPanicContains(t, tc.want, func() { Register(tc.d) })
+	}
+}
+
+// TestLookupDefaultAndAliases pins the resolution rules CLIs rely on: the
+// empty string means the paper's headline configuration, and aliases resolve
+// to their canonical descriptor.
+func TestLookupDefaultAndAliases(t *testing.T) {
+	d, err := Lookup("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != DefaultStrategy {
+		t.Fatalf("empty name resolved to %q, want %q", d.Name, DefaultStrategy)
+	}
+	d, err = Lookup("ml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "multilevel" {
+		t.Fatalf(`alias "ml" resolved to %q, want "multilevel"`, d.Name)
+	}
+}
+
+// TestLookupUnknownTypedError pins the error surface both CLIs print on
+// exit 2: a typed *UnknownStrategyError carrying the sorted valid names.
+func TestLookupUnknownTypedError(t *testing.T) {
+	_, err := Lookup("mpiio")
+	var ue *UnknownStrategyError
+	if !errors.As(err, &ue) {
+		t.Fatalf("Lookup error is %T, want *UnknownStrategyError", err)
+	}
+	if ue.Name != "mpiio" {
+		t.Errorf("error names %q, want mpiio", ue.Name)
+	}
+	if !sort.StringsAreSorted(ue.Known) {
+		t.Errorf("Known not sorted: %v", ue.Known)
+	}
+	if len(ue.Known) != len(Strategies()) {
+		t.Errorf("Known lists %d names, registry has %d", len(ue.Known), len(Strategies()))
+	}
+	msg := err.Error()
+	for _, want := range []string{`unknown strategy "mpiio"`, "valid:", "rbio", "async"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestNewScalesWithNP pins the factory contract: descriptors that scale a
+// knob with the processor count get the run's np.
+func TestNewScalesWithNP(t *testing.T) {
+	s, err := New("coio", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co, ok := s.(CoIO); !ok || co.NumFiles != 64 {
+		t.Fatalf("coio at np 4096 built %#v, want CoIO with 64 files", s)
+	}
+	if _, err := New("nope", 8); err == nil {
+		t.Fatal("unknown name built a strategy")
+	}
+	mustPanicContains(t, "unknown strategy", func() { MustNew("nope", 8) })
+}
+
+// TestHeadlineNamesLeadTheRegistry pins what the experiment sweeps derive
+// from the registry: the five Figure-5 arms come first, in legend order,
+// each with a label, and build working strategies.
+func TestHeadlineNamesLeadTheRegistry(t *testing.T) {
+	ds := Strategies()
+	if len(ds) < len(HeadlineNames) {
+		t.Fatalf("registry holds %d strategies, want >= %d", len(ds), len(HeadlineNames))
+	}
+	for i, name := range HeadlineNames {
+		d := ds[i]
+		if d.Name != name {
+			t.Errorf("registry slot %d is %q, want headline %q", i, d.Name, name)
+		}
+		if d.Label == "" {
+			t.Errorf("headline %q has no legend label", name)
+		}
+		if s := d.New(2048); s.Name() == "" {
+			t.Errorf("headline %q built a strategy with an empty name", name)
+		}
+	}
+}

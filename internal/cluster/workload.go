@@ -22,9 +22,11 @@ type Workload struct {
 	Gap   float64 // mean exponential interarrival, simulated seconds
 	Steps int     // solver steps per job (0: one)
 
-	// Mix is the strategy pool jobs draw from uniformly; empty defaults to
-	// the paper's rbIO (np:ng=64:1, nf=ng).
-	Mix []ckpt.Strategy
+	// Mix is the pool of ckpt-registry strategy names jobs draw from
+	// uniformly; empty defaults to ckpt.DefaultStrategy (the paper's rbIO).
+	// Names resolve per tenant, so np-scaled strategies (coIO's np:nf=64:1
+	// arm) size themselves to each job.
+	Mix []string
 }
 
 // DefaultWorkload is the -workload starting point: four one-step jobs
@@ -53,7 +55,7 @@ func (wk Workload) Tenants() ([]Tenant, error) {
 	}
 	mix := wk.Mix
 	if len(mix) == 0 {
-		mix = []ckpt.Strategy{ckpt.DefaultRbIO()}
+		mix = []string{ckpt.DefaultStrategy}
 	}
 	rng := xrand.New(wk.Seed | 1)
 	ts := make([]Tenant, wk.Jobs)
@@ -63,10 +65,14 @@ func (wk Workload) Tenants() ([]Tenant, error) {
 			arrival += rng.Exp(wk.Gap)
 		}
 		np := 1 << (loExp + rng.Intn(hiExp-loExp+1))
+		strat, err := ckpt.New(mix[rng.Intn(len(mix))], np)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: workload mix: %w", err)
+		}
 		ts[i] = Tenant{
 			Name:     fmt.Sprintf("j%d", i),
 			NP:       np,
-			Strategy: mix[rng.Intn(len(mix))],
+			Strategy: strat,
 			Arrival:  arrival,
 			Steps:    wk.Steps,
 		}
@@ -92,8 +98,9 @@ func floorLog2(n int) int {
 
 // ParseWorkload parses the -workload flag syntax: comma-separated
 // key=value pairs over jobs, np (min:max), gap, steps, seed, strategy
-// (1pfpp|coio|rbio). Example: "jobs=6,np=256:1024,gap=1.5,seed=3".
-// Unknown keys and malformed values are errors so the CLI can exit 2.
+// (any ckpt-registry name, or "all" for the three headline families).
+// Example: "jobs=6,np=256:1024,gap=1.5,seed=3". Unknown keys and
+// malformed values are errors so the CLI can exit 2.
 func ParseWorkload(spec string) (Workload, error) {
 	wk := DefaultWorkload()
 	if spec == "" {
@@ -123,18 +130,15 @@ func ParseWorkload(spec string) (Workload, error) {
 		case "seed":
 			wk.Seed, err = strconv.ParseUint(v, 10, 64)
 		case "strategy":
-			switch v {
-			case "1pfpp":
-				wk.Mix = []ckpt.Strategy{ckpt.OnePFPP{}}
-			case "coio":
-				wk.Mix = []ckpt.Strategy{ckpt.CoIO{NumFiles: 1}}
-			case "rbio":
-				wk.Mix = []ckpt.Strategy{ckpt.DefaultRbIO()}
-			case "all":
-				wk.Mix = []ckpt.Strategy{ckpt.OnePFPP{}, ckpt.CoIO{NumFiles: 1}, ckpt.DefaultRbIO()}
-			default:
-				return wk, fmt.Errorf("cluster: workload strategy %q (valid: 1pfpp, coio, rbio, all)", v)
+			if v == "all" {
+				wk.Mix = []string{"1pfpp", "coio1", "rbio"}
+				break
 			}
+			d, lerr := ckpt.Lookup(v)
+			if lerr != nil {
+				return wk, fmt.Errorf("cluster: workload strategy: %w (or \"all\")", lerr)
+			}
+			wk.Mix = []string{d.Name}
 		default:
 			return wk, fmt.Errorf("cluster: unknown workload key %q (valid: jobs, np, gap, steps, seed, strategy)", k)
 		}

@@ -127,7 +127,7 @@ func TestParseWorkloadErrors(t *testing.T) {
 		{"jobs=x", `jobs="x"`},
 		{"gap=fast", `gap="fast"`},
 		{"seed=-1", `seed="-1"`},
-		{"strategy=mpiio", "valid: 1pfpp, coio, rbio, all"},
+		{"strategy=mpiio", `unknown strategy "mpiio"`},
 		{"jobs=0", "jobs > 0"},
 		{"np=513:1023", "no power of two"},
 	} {

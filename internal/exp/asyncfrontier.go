@@ -1,0 +1,297 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/fault"
+	"repro/internal/fsys"
+	"repro/internal/mpi"
+	"repro/internal/nekcem"
+	"repro/internal/recover"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/xrand"
+)
+
+// frontierNames are the asyncfrontier arms: the two strongest blocking
+// strategies against the asynchronous one, all from the ckpt registry.
+var frontierNames = []string{"rbio", "coio", "async"}
+
+// AsyncFrontierRow is one strategy's point on the asynchronous checkpoint
+// frontier: what the solver pays while blocked, when the data actually
+// becomes durable, what the whole run costs, and — under injected faults —
+// how stale the durable state is at the moments nodes die. Asynchronous
+// checkpointing moves along this frontier rather than winning outright:
+// blocked time collapses to the node-local snapshot, but epochs seal only
+// when the background flush lands, so a badly-timed failure rolls back
+// further.
+type AsyncFrontierRow struct {
+	Strategy   string
+	NP         int
+	BlockedSec float64 // slowest checkpoint's solver-blocked phase
+	FlushSec   float64 // background flush tail past unblock (0 for sync arms)
+	StepSec    float64 // slowest checkpoint, snapshot start to durable
+	Makespan   float64 // fault-free simulated wall time of the whole run
+
+	// Faulted phase (Trials independent runs under an accelerated MTBF).
+	Trials      int
+	Kills       int     // node deaths that landed inside the runs
+	AvgStaleSec float64 // mean staleness of durable state at those deaths
+	MaxStaleSec float64
+	LostTrials  int // trials that lost checkpoint state outright
+}
+
+// frontierCell is one executed run of one arm.
+type frontierCell struct {
+	blockedSec float64
+	flushSec   float64
+	stepSec    float64
+	makespan   float64
+	stale      []float64 // staleness at each in-run node kill
+	kills      int
+	lost       bool
+}
+
+// frontierSteps/frontierEvery shape every frontier run: 150 solver steps
+// with a checkpoint every 50th, three checkpoints total. The interval
+// (~16s of compute) exceeds a full background flush, the production regime
+// async targets — checkpoints come minutes apart, not back-to-back — so
+// the overlap is real; the final checkpoint still exercises the
+// end-of-run drain, whose flush tail the table reports.
+const (
+	frontierSteps = 150
+	frontierEvery = 50
+)
+
+// AsyncFrontier measures the (blocked time, makespan, staleness) frontier
+// at one scale: a fault-free multi-step run per arm, then trials
+// independently-seeded faulted runs per arm at an accelerated MTBF (one 8x
+// rung below the headline value, like the fault sweep's middle rung), with
+// the staleness of durable state probed at every injected node death via
+// the epoch-manifest log. trials <= 0 means the default 4. Cells fan out
+// over the worker pool; every cell is an independent simulation, so rows
+// are identical at any -parallel setting.
+func AsyncFrontier(o Options, np int, mtbfHours float64, trials int) ([]AsyncFrontierRow, error) {
+	if trials <= 0 {
+		trials = 4
+	}
+
+	free := make([]*frontierCell, len(frontierNames))
+	ferrs := make([]error, len(frontierNames))
+	runPool(o.workers(), len(frontierNames), func(i int) {
+		free[i], ferrs[i] = runFrontierCell(o, np, frontierNames[i], nil)
+	})
+	for i, err := range ferrs {
+		if err != nil {
+			return nil, fmt.Errorf("exp: asyncfrontier %s fault-free: %w", frontierNames[i], err)
+		}
+	}
+
+	cells := make([]*frontierCell, len(frontierNames)*trials)
+	cerrs := make([]error, len(cells))
+	runPool(o.workers(), len(cells), func(idx int) {
+		ai, ti := idx/trials, idx%trials
+		// The horizon comfortably covers even a fault-stretched run; the
+		// seed mixing matches the recovery study's per-cell recipe.
+		horizon := 4 * free[ai].makespan
+		if horizon < 150 {
+			horizon = 150
+		}
+		seed := o.seed()
+		seed ^= uint64(ai+1) * 0xbf58476d1ce4e5b9
+		seed ^= uint64(ti+1) * 0x94d049bb133111eb
+		cells[idx], cerrs[idx] = runFrontierCell(o, np, frontierNames[ai], &FaultSpec{
+			MTBF: mtbfHours * 3600 / 8, MTTR: 60, Shape: 1.2,
+			Horizon: horizon, Seed: seed,
+		})
+	})
+	for idx, err := range cerrs {
+		if err != nil {
+			return nil, fmt.Errorf("exp: asyncfrontier %s trial %d: %w", frontierNames[idx/trials], idx%trials, err)
+		}
+	}
+
+	rows := make([]AsyncFrontierRow, len(frontierNames))
+	for ai, name := range frontierNames {
+		f := free[ai]
+		row := AsyncFrontierRow{
+			Strategy:   name,
+			NP:         np,
+			BlockedSec: f.blockedSec,
+			FlushSec:   f.flushSec,
+			StepSec:    f.stepSec,
+			Makespan:   f.makespan,
+			Trials:     trials,
+		}
+		staleSum, staleN := 0.0, 0
+		for ti := 0; ti < trials; ti++ {
+			c := cells[ai*trials+ti]
+			row.Kills += c.kills
+			if c.lost {
+				row.LostTrials++
+			}
+			for _, s := range c.stale {
+				staleSum += s
+				staleN++
+				if s > row.MaxStaleSec {
+					row.MaxStaleSec = s
+				}
+			}
+		}
+		if staleN > 0 {
+			row.AvgStaleSec = staleSum / float64(staleN)
+		}
+		rows[ai] = row
+	}
+	return rows, nil
+}
+
+// runFrontierCell executes one multi-step run of one arm, mirroring
+// runCheckpoint's construction order (kernel, experiment RNG, machine,
+// sharding gate, storage, faults, world) so the single-step goldens pin
+// this path's components too. Every run records epochs into a fresh
+// manifest log; the staleness probe reads it at the schedule's node-kill
+// instants. Faulted cells stay on the serial kernel, same rule as every
+// faulted job.
+func runFrontierCell(o Options, np int, name string, spec *FaultSpec) (*frontierCell, error) {
+	strat := ckpt.MustNew(name, np)
+	k := sim.NewKernel()
+	rng := xrand.New(o.seed() ^ uint64(np)*0x9e37)
+	m, err := buildMachine(o, Job{}, k, rng, np)
+	if err != nil {
+		return nil, err
+	}
+	if o.Shards > 1 && spec == nil && m.NumPsets() > 1 {
+		k.EnableSharding(m.NumPsets(), o.Shards, m.Lookahead(), o.seed())
+	}
+	fs, _, err := buildFS(o, m, o.FS)
+	if err != nil {
+		return nil, err
+	}
+	runFS := fs
+	if k.Sharded() {
+		runFS = fsys.Guard(fs)
+	}
+	var inj *fault.Injector
+	var sched fault.Schedule
+	if spec != nil {
+		sp := *spec
+		if sp.Schedule == nil {
+			// Sample here with attachFaults' exact recipe (same rates, same
+			// seed derivation) so the kill times are in hand for the
+			// staleness probe; attachFaults then adopts the schedule
+			// verbatim.
+			servers := 0
+			if sc, ok := fs.(interface{ Servers() []*storage.Server }); ok {
+				servers = len(sc.Servers())
+			}
+			horizon := sp.Horizon
+			if horizon <= 0 {
+				horizon = 150
+			}
+			srng := xrand.New(sp.Seed | 1)
+			sp.Schedule = fault.Sample(srng, horizon, map[fault.Class]fault.Rates{
+				fault.Node:   {N: m.NumNodes(), MTBF: sp.MTBF, MTTR: sp.MTTR, Shape: sp.Shape},
+				fault.ION:    {N: m.NumPsets(), MTBF: sp.MTBF, MTTR: sp.MTTR, Shape: sp.Shape},
+				fault.Server: {N: servers, MTBF: sp.MTBF, MTTR: sp.MTTR, Shape: sp.Shape},
+				fault.Link:   {N: m.NumPsets(), MTBF: sp.MTBF, MTTR: sp.MTTR, Shape: sp.Shape, Factor: 0.25},
+			})
+		}
+		sched = sp.Schedule
+		if inj, err = attachFaults(k, m, fs, &sp); err != nil {
+			return nil, err
+		}
+	}
+	w := mpi.NewWorld(m, mpi.DefaultConfig())
+	mlog := recover.NewLog(o.seed(), np)
+	seg := mlog.StartSegment("ckpt", 0, 0)
+	rcfg := nekcem.RunConfig{
+		Mesh:            nekcem.PaperMesh(np),
+		Strategy:        strat,
+		Dir:             "ckpt",
+		Steps:           frontierSteps,
+		CheckpointEvery: frontierEvery,
+		Synthetic:       true,
+		SkipPresetup:    true,
+		PayloadFactor:   nekcem.PaperPayloadFactor,
+		Compute:         nekcem.DefaultComputeModel(),
+		Epochs:          seg,
+	}
+	if inj != nil {
+		rcfg.RankUp = func(rank int) bool { return inj.Up(fault.Node, m.NodeOfRank(rank)) }
+	}
+	res, err := nekcem.Run(w, runFS, rcfg)
+	if err != nil {
+		if spec != nil && fsys.Unavailable(err) {
+			// A sync strategy without a fault-aware path hit dead storage
+			// mid-collective: the trial's state is lost, and the staleness
+			// at the kills that did land is still measurable.
+			cell := &frontierCell{lost: true, makespan: k.Now()}
+			for _, ev := range sched.FailsIn(fault.Node, 0, k.Now()) {
+				cell.kills++
+				cell.stale = append(cell.stale, mlog.StalenessAt(ckpt.LevelGlobal, ev.Time))
+			}
+			return cell, nil
+		}
+		return nil, err
+	}
+	seg.Close()
+	cell := &frontierCell{makespan: res.Wall}
+	for _, c := range res.Checkpoints {
+		if b := c.BlockedTime(); b > cell.blockedSec {
+			cell.blockedSec = b
+		}
+		if st := c.StepTime(); st > cell.stepSec {
+			cell.stepSec = st
+		}
+		if fl := c.MaxDurable - c.MaxEnd; fl > cell.flushSec {
+			cell.flushSec = fl
+		}
+		cell.lost = cell.lost || c.Lost()
+	}
+	for _, ev := range sched.FailsIn(fault.Node, 0, res.Wall) {
+		cell.kills++
+		cell.stale = append(cell.stale, mlog.StalenessAt(ckpt.LevelGlobal, ev.Time))
+	}
+	return cell, nil
+}
+
+// AsyncFrontierTable renders the frontier.
+func AsyncFrontierTable(rows []AsyncFrontierRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Strategy, fmt.Sprint(r.NP),
+			fmt.Sprintf("%.3f", r.BlockedSec),
+			fmt.Sprintf("%.2f", r.FlushSec),
+			fmt.Sprintf("%.2f", r.StepSec),
+			fmt.Sprintf("%.1f", r.Makespan),
+			fmt.Sprint(r.Trials),
+			fmt.Sprint(r.Kills),
+			fmt.Sprintf("%.2f", r.AvgStaleSec),
+			fmt.Sprintf("%.2f", r.MaxStaleSec),
+			fmt.Sprint(r.LostTrials),
+		})
+	}
+	return FormatTable([]string{
+		"strategy", "np", "blocked (s)", "flush tail (s)", "step (s)",
+		"makespan (s)", "trials", "kills", "avg stale (s)", "max stale (s)", "lost",
+	}, out)
+}
+
+func init() {
+	Register(Descriptor{
+		Name:  "asyncfrontier",
+		Doc:   "async vs rbIO vs coIO: blocked time, makespan, staleness at failure",
+		Flags: "-mtbf, -np",
+		Run: func(s *Session) error {
+			rows, err := AsyncFrontier(s.Opts, s.NPOr(2048), s.mtbf(), 0)
+			if err != nil {
+				return err
+			}
+			s.printf("== Extension: asynchronous checkpoint frontier ==\n%s\n", AsyncFrontierTable(rows))
+			return nil
+		},
+	})
+}

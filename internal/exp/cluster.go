@@ -224,12 +224,8 @@ func stormTenants(np, nt int, strat ckpt.Strategy) []cluster.Tenant {
 // stormStrategies are the storm's strategy arms: the paper's three headline
 // families, from the approach that hammers shared storage hardest (one file
 // per process) to the one designed to decouple from it (rbIO).
-func stormStrategies() []ckpt.Strategy {
-	return []ckpt.Strategy{
-		ckpt.OnePFPP{},
-		ckpt.CoIO{NumFiles: 1, Hints: defaultHints()},
-		ckpt.DefaultRbIO(),
-	}
+func stormStrategies(np int) []ckpt.Strategy {
+	return strategiesByName(np, "1pfpp", "coio1", "rbio")
 }
 
 // CkptStormRow is one tenant's measurement in one arm of the storm.
@@ -310,7 +306,7 @@ func CkptStorm(o Options, np, nt int) (*CkptStormResult, error) {
 		return jobs, cs.Rec, nil
 	}
 
-	for _, strat := range stormStrategies() {
+	for _, strat := range stormStrategies(np) {
 		all := stormTenants(np, nt, strat)
 		sname := strat.Name()
 		sum := CkptStormSummary{Strategy: sname}
@@ -437,7 +433,7 @@ func RestartStorm(o Options, np, nt int) (*RestartStormResult, error) {
 	if nt < 1 {
 		return nil, fmt.Errorf("exp: restartstorm needs at least 1 tenant, got %d", nt)
 	}
-	tenants := stormTenants(np, nt, ckpt.DefaultRbIO())
+	tenants := stormTenants(np, nt, ckpt.MustNew("rbio", np))
 	// Each tenant records its epochs in its own manifest log; restarts go
 	// through it (scan, verify, pick) instead of assuming step 1 survived.
 	logs := make([]*recover.Log, nt)

@@ -20,7 +20,6 @@ import (
 	"repro/internal/iolog"
 	"repro/internal/machine"
 	"repro/internal/mpi"
-	"repro/internal/mpiio"
 	"repro/internal/nekcem"
 	"repro/internal/recover"
 	"repro/internal/sim"
@@ -77,31 +76,48 @@ type Options struct {
 	// restart scans), so fault-free results are byte-identical with and
 	// without it — the manifest golden-identity test pins that.
 	Manifests bool
+	// Ckpt, when non-empty, restricts headline sweeps (Figure 5/6/7, Table
+	// I) to the one named strategy from the ckpt registry instead of the
+	// full five-arm comparison. Experiments with fixed strategy casts (the
+	// ablations, the fault and recovery studies) ignore it.
+	Ckpt string
 }
 
 // PaperNPs are the paper's weak-scaling processor counts.
 var PaperNPs = []int{16384, 32768, 65536}
 
 // Approaches returns the paper's five headline configurations (Figure 5's
-// legend) for a given processor count.
+// legend) for a given processor count, built from the ckpt strategy
+// registry so the experiment arms and the CLI -ckpt names stay one list.
 func Approaches(np int) []ckpt.Strategy {
-	return []ckpt.Strategy{
-		ckpt.OnePFPP{},
-		ckpt.CoIO{NumFiles: 1, Hints: mpiio.DefaultHints()},
-		ckpt.CoIO{NumFiles: np / 64, Hints: mpiio.DefaultHints()},
-		ckpt.RbIO{GroupSize: 64, SingleFile: true, WriterBuffer: 512 << 20, BufferFields: true, Hints: mpiio.DefaultHints()},
-		ckpt.DefaultRbIO(),
-	}
+	return strategiesByName(np, ckpt.HeadlineNames...)
 }
 
 // ApproachLabels are the paper's legend strings, index-aligned with
-// Approaches.
-var ApproachLabels = []string{
-	"1PFPP",
-	"coIO, nf=1",
-	"coIO, np:nf=64:1",
-	"rbIO, np:ng=64:1, nf=1",
-	"rbIO, np:ng=64:1, nf=ng",
+// Approaches; they come from the registry descriptors.
+var ApproachLabels = approachLabels()
+
+func approachLabels() []string {
+	out := make([]string, len(ckpt.HeadlineNames))
+	for i, name := range ckpt.HeadlineNames {
+		d, err := ckpt.Lookup(name)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = d.Label
+	}
+	return out
+}
+
+// strategiesByName builds a strategy list from registry names; every sweep
+// in this package derives its arms through it. Unknown names are wiring
+// bugs (the lists are static), so it panics like ckpt.MustNew.
+func strategiesByName(np int, names ...string) []ckpt.Strategy {
+	out := make([]ckpt.Strategy, len(names))
+	for i, name := range names {
+		out[i] = ckpt.MustNew(name, np)
+	}
+	return out
 }
 
 // Run is one checkpoint-step execution of a strategy at scale.

@@ -159,11 +159,7 @@ func (r *FaultRow) LossPct() float64 {
 // whose failure modes differ (independent files, collective single file via
 // groups, group files with re-election).
 func faultStrategies(np int) []ckpt.Strategy {
-	return []ckpt.Strategy{
-		ckpt.OnePFPP{},
-		ckpt.CoIO{NumFiles: np / 64, Hints: defaultHints()},
-		DefaultRbIOWithGroup(64),
-	}
+	return strategiesByName(np, "1pfpp", "coio", "rbio")
 }
 
 // faultMultipliers ladder the per-component MTBF down from the headline

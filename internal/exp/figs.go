@@ -23,6 +23,9 @@ type HeadlineRow struct {
 // out over the Options worker pool; each is an independent simulation, so the
 // rows are identical to a serial sweep.
 func Headline(o Options, approaches ...int) ([]HeadlineRow, error) {
+	if o.Ckpt != "" && len(approaches) == 0 {
+		return headlineNamed(o)
+	}
 	if len(approaches) == 0 {
 		approaches = []int{0, 1, 2, 3, 4}
 	}
@@ -36,6 +39,38 @@ func Headline(o Options, approaches ...int) ([]HeadlineRow, error) {
 		rows = append(rows, HeadlineRow{
 			NP:        r.NP,
 			Approach:  ApproachLabels[approaches[i%len(approaches)]],
+			S:         r.S,
+			StepSec:   step,
+			GBps:      GB(r.Agg.Bandwidth()),
+			Ratio:     step / r.Result.ComputeStep,
+			WorkerSec: r.Agg.MaxWorker,
+		})
+	}
+	return rows, nil
+}
+
+// headlineNamed runs the single Options.Ckpt strategy across the sweep —
+// the -ckpt CLI path. Any registered strategy works, including ones
+// outside the five-arm headline legend (multilevel, async).
+func headlineNamed(o Options) ([]HeadlineRow, error) {
+	d, err := ckpt.Lookup(o.Ckpt)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []Job
+	for _, np := range o.nps() {
+		jobs = append(jobs, Job{NP: np, Strategy: d.New(np)})
+	}
+	runs, err := RunSet(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []HeadlineRow
+	for _, r := range runs {
+		step := r.Agg.StepTime()
+		rows = append(rows, HeadlineRow{
+			NP:        r.NP,
+			Approach:  d.Label,
 			S:         r.S,
 			StepSec:   step,
 			GBps:      GB(r.Agg.Bandwidth()),

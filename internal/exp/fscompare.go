@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/ckpt"
 	"repro/internal/fsys"
 )
 
@@ -32,11 +31,7 @@ func FSComparison(o Options, np int) ([]FSRow, error) {
 // (backend, strategy) cell is an independent simulation, so the cells run on
 // the experiment worker pool; results are identical at any pool size.
 func FSComparisonOn(o Options, np int, fsNames ...fsys.Backend) ([]FSRow, error) {
-	strategies := []ckpt.Strategy{
-		ckpt.DefaultRbIO(),
-		ckpt.CoIO{NumFiles: np / 64, Hints: defaultHints()},
-		ckpt.OnePFPP{},
-	}
+	strategies := strategiesByName(np, "rbio", "coio", "1pfpp")
 	var jobs []Job
 	for _, fsName := range fsNames {
 		for _, strat := range strategies {

@@ -11,11 +11,8 @@ import (
 // use: the paper's strongest strategy, the collective baseline, and the
 // naive one — enough to see whether a machine knob reorders them.
 func sweepStrategies(np int) ([]ckpt.Strategy, []string) {
-	return []ckpt.Strategy{
-		ckpt.DefaultRbIO(),
-		ckpt.CoIO{NumFiles: np / 64, Hints: defaultHints()},
-		ckpt.OnePFPP{},
-	}, []string{"rbIO", "coIO", "1PFPP"}
+	return strategiesByName(np, "rbio", "coio", "1pfpp"),
+		[]string{"rbIO", "coIO", "1PFPP"}
 }
 
 // MapRow is one (placement policy, strategy) measurement of the rank-mapping

@@ -31,9 +31,9 @@ func MultiLevelStudy(o Options, np int) ([]MLRow, error) {
 		steps = 8
 		nc    = 2 // checkpoint every 2 steps -> 4 checkpoints
 	)
-	cases := []ckpt.Strategy{ckpt.DefaultRbIO()}
+	cases := []ckpt.Strategy{ckpt.MustNew("rbio", np)}
 	for _, k := range []int{2, 4} {
-		s := ckpt.DefaultMultiLevel()
+		s := ckpt.MustNew("multilevel", np).(ckpt.MultiLevel)
 		s.GlobalEvery = k
 		cases = append(cases, s)
 	}

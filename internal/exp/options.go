@@ -80,3 +80,8 @@ func Trace(tc *TraceCollector) Option { return func(o *Options) { o.Trace = tc }
 // Manifests attaches an epoch-manifest log to every checkpoint run (pure
 // bookkeeping; fault-free results stay byte-identical).
 func Manifests() Option { return func(o *Options) { o.Manifests = true } }
+
+// Ckpt restricts headline sweeps to one registered strategy ("" keeps the
+// full five-arm sweep). The name must resolve through ckpt.Lookup; CLIs
+// validate it before building Options.
+func Ckpt(name string) Option { return func(o *Options) { o.Ckpt = name } }

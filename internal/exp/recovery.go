@@ -54,14 +54,14 @@ func recoveryFamilies(np int) []struct {
 	Strategy ckpt.Strategy
 	SegCkpts int
 } {
-	ml := ckpt.DefaultMultiLevel()
+	ml := ckpt.MustNew("multilevel", np).(ckpt.MultiLevel)
 	return []struct {
 		Strategy ckpt.Strategy
 		SegCkpts int
 	}{
-		{ckpt.OnePFPP{}, 1},
-		{ckpt.CoIO{NumFiles: np / 64, Hints: defaultHints()}, 1},
-		{DefaultRbIOWithGroup(64), 1},
+		{ckpt.MustNew("1pfpp", np), 1},
+		{ckpt.MustNew("coio", np), 1},
+		{ckpt.MustNew("rbio", np), 1},
 		{ml, ml.GlobalEvery},
 	}
 }

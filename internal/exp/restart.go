@@ -25,11 +25,7 @@ type RestartRow struct {
 // RestartStudy writes one checkpoint per strategy and measures a fresh
 // job's collective restart from it at the given scale.
 func RestartStudy(o Options, np int) ([]RestartRow, error) {
-	strategies := []ckpt.Strategy{
-		ckpt.OnePFPP{},
-		ckpt.CoIO{NumFiles: np / 64, Hints: defaultHints()},
-		DefaultRbIOWithGroup(64),
-	}
+	strategies := strategiesByName(np, "1pfpp", "coio", "rbio")
 	var rows []RestartRow
 	for _, strat := range strategies {
 		k := sim.NewKernel()

@@ -107,13 +107,38 @@ type CkptAgg struct {
 	SkippedRanks  int
 	MissingChunks int
 	FailedRanks   int
+
+	// Async-lifecycle outcome of the step (all zero for synchronous
+	// strategies). AsyncRanks counts ranks whose Write returned before
+	// durability; MaxFlush is the slowest rank's background flush time
+	// (snapshot end to durable); LostFlushes counts ranks whose snapshot
+	// never became durable — a node died holding it, or the storage refused
+	// the aggregated commit.
+	AsyncRanks  int
+	MaxFlush    float64
+	LostFlushes int
+
+	// MaxBlocked is the longest any single rank was stalled inside Write
+	// (its End - Start). Unlike the MaxEnd - Start envelope, it does not
+	// absorb the arrival skew between unsynchronized ranks, so it is the
+	// honest per-rank blocking cost of the checkpoint.
+	MaxBlocked float64
 }
 
 // Lost reports whether the checkpoint step lost any state: some rank's data
 // never reached durable storage.
 func (a *CkptAgg) Lost() bool {
-	return a.DeadRanks > 0 || a.SkippedRanks > 0 || a.MissingChunks > 0 || a.FailedRanks > 0
+	return a.DeadRanks > 0 || a.SkippedRanks > 0 || a.MissingChunks > 0 ||
+		a.FailedRanks > 0 || a.LostFlushes > 0
 }
+
+// BlockedTime returns how long the checkpoint stalled the application: the
+// slowest single rank's time inside Write. For synchronous strategies this
+// is dominated by the collective write; for async ones it is the node-local
+// snapshot plus any backpressure wait, and excludes the background flush
+// tail — the gap between BlockedTime and StepTime is exactly what async
+// buys.
+func (a *CkptAgg) BlockedTime() float64 { return a.MaxBlocked }
 
 // StepTime returns the checkpoint step's wall time (entry to durability),
 // the quantity in the paper's Figure 6.
@@ -365,8 +390,48 @@ func Launch(w *mpi.World, fs fsys.System, cfg RunConfig) (*Pending, error) {
 				res.PerRank[c.Rank(r)] = RankCkpt{Role: stats.Role, Blocked: stats.Blocked(), Perceived: stats.Perceived}
 			}
 		}
+
+		// Close the async lifecycle: every snapshot this rank contributed
+		// must be durable (or known lost) before its body may end, so the
+		// run's makespan honestly includes the flush tail.
+		if ap, ok := plan.(ckpt.AsyncPlan); ok {
+			var dt0 float64
+			if rec != nil {
+				dt0 = r.Now()
+			}
+			flushes, err := ap.WaitDurable(env, r)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if rec != nil && r.Now() > dt0 {
+				p.Rec().Span(trace.LayerAsync, "ckpt.drain", r.ID(), dt0, r.Now(), 0)
+			}
+			mu.Lock()
+			for _, fst := range flushes {
+				if agg := aggs[fst.Step]; agg != nil {
+					mergeFlush(agg, fst)
+				}
+			}
+			mu.Unlock()
+		}
 	})
 	return pe, nil
+}
+
+// mergeFlush folds one rank's deferred flush outcome into its step's
+// aggregate (the caller holds the aggregation mutex).
+func mergeFlush(agg *CkptAgg, f ckpt.FlushStats) {
+	if f.Lost {
+		agg.LostFlushes++
+		return
+	}
+	if f.Durable > agg.MaxDurable {
+		agg.MaxDurable = f.Durable
+	}
+	if fs := f.FlushSec(); fs > agg.MaxFlush {
+		agg.MaxFlush = fs
+	}
 }
 
 // rankDone records a rank body's return. When it is the last one, the run's
@@ -441,6 +506,12 @@ func mergeStats(agg *CkptAgg, s ckpt.Stats) {
 		agg.MaxDurable = s.Durable
 	}
 	agg.Bytes += s.Bytes
+	if s.Blocked() > agg.MaxBlocked {
+		agg.MaxBlocked = s.Blocked()
+	}
+	if s.Async {
+		agg.AsyncRanks++
+	}
 	switch s.Role {
 	case ckpt.RoleWorker:
 		if s.Blocked() > agg.MaxWorker {

@@ -313,6 +313,21 @@ func (l *Log) NewestSealed(level ckpt.Level, before float64) *Epoch {
 	return nil
 }
 
+// StalenessAt reports how stale the job's durable state is at time t: the
+// gap between t and the seal of the newest epoch of the level sealed at or
+// before t — the work a failure at t rolls back. With no epoch sealed yet,
+// everything since t=0 is at risk. This is the quantity an asynchronous
+// strategy trades against blocked time: the solver unblocks early, but the
+// epoch only seals when the background flush lands, so the staleness at a
+// badly-timed failure grows by the flush lag.
+func (l *Log) StalenessAt(level ckpt.Level, t float64) float64 {
+	e := l.NewestSealed(level, t)
+	if e == nil {
+		return t
+	}
+	return t - e.SealedAt
+}
+
 // PickRestart chooses the rollback epoch after a failure: the newest sealed
 // epoch across levels, with the fast local level preferred at equal steps —
 // unless requireGlobal (a node was lost, so RAM-disk state is gone), in

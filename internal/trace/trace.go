@@ -51,13 +51,17 @@ const (
 	// LayerRecovery is the checkpoint/restart lifecycle: manifest scans,
 	// torn-epoch detection, rollback decisions, and re-executed work.
 	LayerRecovery
+	// LayerAsync is the asynchronous checkpoint flush path: node-local
+	// snapshots and the background aggregation agents' storage traffic,
+	// which overlaps LayerCompute rather than blocking it.
+	LayerAsync
 
 	// NumLayers bounds the enum; arrays indexed by Layer use this size.
 	NumLayers
 )
 
 var layerNames = [NumLayers]string{
-	"kernel", "mpi", "fabric", "storage", "bbuf", "ckpt", "compute", "recovery",
+	"kernel", "mpi", "fabric", "storage", "bbuf", "ckpt", "compute", "recovery", "async",
 }
 
 // String returns the layer's lowercase name.
