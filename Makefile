@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test check bench bench-json fig5 storm recovery async
+.PHONY: build test check bench bench-json fig5 storm recovery async bb
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,12 @@ storm:
 # and staleness price at 2048 ranks.
 async:
 	BENCH_JSON=. $(GO) test -run xxx -bench AsyncFrontier -benchtime 1x .
+
+# bb records the burst-buffer fleet sizing benchmark (BENCH_BBFleet.json):
+# full-fleet writer win over the sync reference, worst undersized-FIFO
+# degradation, and the deadline policy's drain-tail price at 2048 ranks.
+bb:
+	BENCH_JSON=. $(GO) test -run xxx -bench BBFleet -benchtime 1x .
 
 # recovery records the closed-loop checkpoint/restart lifecycle benchmark
 # (BENCH_Recovery.json): the measured-vs-Daly study at 2048 ranks, all four

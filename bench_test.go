@@ -929,3 +929,64 @@ func BenchmarkAsyncFrontier(b *testing.B) {
 		},
 	})
 }
+
+// BenchmarkBBFleet records the burst-buffer fleet sizing study at 2048
+// ranks: the full-fleet writer win over the synchronous reference, the
+// undersized-FIFO degradation the deadline policy buys back, and the
+// drain-tail price it charges.
+func BenchmarkBBFleet(b *testing.B) {
+	perf.TuneGC()
+	var res *exp.BBSizeResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp.BBSize(opts(), 2048, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	report(b, "BB fleet sizing: size x drain policy x pset ratio @2048", res.Table())
+	report(b, "BB fleet sizing: faulted arm", res.FaultTable())
+	// Pull the headline cells from the default-ratio rbIO rows: the sync
+	// reference, the full private-shape fleet, and the worst undersized
+	// fleet under each policy.
+	var syncWriter, fullWriter, worstFIFO, worstDeadline, deadlineTail float64
+	for _, r := range res.Rows {
+		if r.Strategy != "rbio" || r.Ratio != res.Rows[len(res.Rows)-1].Ratio {
+			continue
+		}
+		switch {
+		case r.Fleet == 0:
+			syncWriter = r.WriterSec
+		case r.Fleet == r.Psets:
+			fullWriter = r.WriterSec
+		case r.Drain == "fifo" && r.WriterSec > worstFIFO:
+			worstFIFO = r.WriterSec
+		case r.Drain == "deadline":
+			if r.WriterSec > worstDeadline {
+				worstDeadline = r.WriterSec
+			}
+			if r.DrainTailSec > deadlineTail {
+				deadlineTail = r.DrainTailSec
+			}
+		}
+	}
+	writerWin := 0.0
+	if fullWriter > 0 {
+		writerWin = syncWriter / fullWriter
+	}
+	b.ReportMetric(writerWin, "writer-win-x")
+	b.ReportMetric(worstFIFO, "worst-fifo-writer-s")
+	emitBench(b, "BBFleet", perf.Benchmark{
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Extra: map[string]float64{
+			"sync_writer_s":           syncWriter,
+			"full_fleet_writer_s":     fullWriter,
+			"writer_win_x":            writerWin,
+			"worst_fifo_writer_s":     worstFIFO,
+			"worst_deadline_writer_s": worstDeadline,
+			"deadline_tail_s":         deadlineTail,
+		},
+	})
+}

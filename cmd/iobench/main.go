@@ -12,6 +12,7 @@
 //	iobench -quiet           # disable the shared-storage noise model
 //	iobench -seed 7          # different reproducible noise sample
 //	iobench -fs bbuf         # run the checkpoint experiments on another backend
+//	iobench -fs bbuf -bb 4x0.25 -drain deadline      # shared 4-node burst-buffer fleet
 //	iobench -machine bgl     # run on another machine preset (bgl, fattree, dragonfly)
 //	iobench -map xyzt        # override the rank->node placement policy
 //	iobench -trace out.json  # emit a Chrome/Perfetto trace of every run
@@ -28,6 +29,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/bbuf"
 	"repro/internal/ckpt"
 	"repro/internal/cluster"
 	"repro/internal/exp"
@@ -50,6 +52,8 @@ func main() {
 		ckptName  = flag.String("ckpt", "", "restrict the headline sweeps (fig5/fig6/fig7) to one ckpt-registry strategy: 1pfpp, coio1, coio, rbio1, rbio, multilevel, async (\"\" = all five headline arms)")
 		machName  = flag.String("machine", "", "machine preset for checkpoint experiments: intrepid (default), bgl, fattree, dragonfly (priorwork pins its own machines)")
 		mapName   = flag.String("map", "", "rank->node placement policy override: txyz (machine default), xyzt, blocked, roundrobin, random")
+		bbSpec    = flag.String("bb", "", "burst-buffer fleet spec <nodes>x<gbps> for -fs bbuf (e.g. 8x0.25); \"\" = one private node per ION at the default bandwidth")
+		drainName = flag.String("drain", "", "burst-buffer drain-scheduler policy for -fs bbuf: fifo (default), deadline, tenant")
 		mtbf      = flag.Float64("mtbf", 6, "per-component MTBF in hours for the fault experiments (faultsweep, makespan, recovery)")
 		epochs    = flag.Int("epochs", 0, "checkpoint epochs over the recovery lifecycle's work budget (0 = default 12)")
 		workSteps = flag.Int("work", 0, "solver-step work budget for -exp recovery (0 = default 120)")
@@ -101,6 +105,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	bbNodes, bbGbps, err := bbuf.ParseFleetSpec(*bbSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *drainName != "" {
+		if _, err := bbuf.Lookup(*drainName); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	if _, ok := exp.LookupExperiment(*which); !ok && *which != "all" {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: all, list", *which)
 		for _, d := range exp.Experiments() {
@@ -118,6 +133,8 @@ func main() {
 		exp.Machine(*machName),
 		exp.Map(*mapName),
 		exp.Ckpt(*ckptName),
+		exp.BB(bbNodes, bbGbps),
+		exp.Drain(*drainName),
 	}
 	if *quiet {
 		opts = append(opts, exp.Quiet())

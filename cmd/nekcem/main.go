@@ -8,6 +8,7 @@
 //	nekcem -np 16384 -steps 40 -ckpt-every 20 -ckpt rbio
 //	nekcem -np 1024 -ckpt coio -nf 16 -log trace.json
 //	nekcem -np 4096 -ckpt async      # non-blocking checkpoints, background flush
+//	nekcem -np 2048 -fs bbuf -bb 4x0.25 -drain deadline  # shared burst-buffer fleet
 //	nekcem -np 64 -content           # real SEDG kernel, bit-exact restart check
 package main
 
@@ -16,19 +17,23 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/bbuf"
 	"repro/internal/bgp"
 	"repro/internal/ckpt"
 	"repro/internal/exp"
 	"repro/internal/fsys"
-	"repro/internal/gpfs"
 	"repro/internal/iolog"
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/nekcem"
-	"repro/internal/pvfs"
 	"repro/internal/recover"
 	"repro/internal/sim"
 	"repro/internal/xrand"
+
+	// Backends self-register with the fsys registry from their package
+	// inits; the bbuf import also provides the -bb/-drain validators.
+	_ "repro/internal/gpfs"
+	_ "repro/internal/pvfs"
 )
 
 func main() {
@@ -38,7 +43,9 @@ func main() {
 		every    = flag.Int("ckpt-every", 20, "checkpoint every N steps (0: never)")
 		ckptName = flag.String("ckpt", "", "checkpoint strategy from the ckpt registry: 1pfpp, coio1, coio, rbio1, rbio, multilevel, async (default rbio)")
 		strategy = flag.String("strategy", "", "synonym for -ckpt (kept for older scripts)")
-		fsName   = flag.String("fs", "gpfs", "parallel file system model: gpfs or pvfs")
+		fsName   = flag.String("fs", "gpfs", "storage backend from the fsys registry: gpfs, pvfs, bbuf")
+		bbSpec   = flag.String("bb", "", "burst-buffer fleet spec <nodes>x<gbps> for -fs bbuf (e.g. 8x0.25); \"\" = one private node per ION at the default bandwidth")
+		drain    = flag.String("drain", "", "burst-buffer drain-scheduler policy for -fs bbuf: fifo (default), deadline, tenant")
 		nf       = flag.Int("nf", 0, "coio: number of files (default np/64); rbio: np/ng group count")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		machName = flag.String("machine", "", "machine preset: intrepid (default), bgl, fattree, dragonfly")
@@ -57,6 +64,22 @@ func main() {
 	if *shards < 0 {
 		fmt.Fprintf(os.Stderr, "invalid -shards %d (want >= 0; 0 or 1 = serial kernel)\n", *shards)
 		os.Exit(2)
+	}
+	backend, err := fsys.Lookup(*fsName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	bbNodes, bbGbps, err := bbuf.ParseFleetSpec(*bbSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *drain != "" {
+		if _, err := bbuf.Lookup(*drain); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 	if err := validateLifecycleFlags(*epochs, *workStps, setFlags()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -109,22 +132,14 @@ func main() {
 	if *shards > 1 && *logPath == "" && m.NumPsets() > 1 {
 		k.EnableSharding(m.NumPsets(), *shards, m.Lookahead(), *seed)
 	}
-	var fs fsys.System
-	switch *fsName {
-	case "gpfs":
-		gcfg := gpfs.DefaultConfig()
-		if *quiet {
-			gcfg.NoiseProb = 0
-		}
-		fs = gpfs.MustNew(m, gcfg)
-	case "pvfs":
-		pcfg := pvfs.DefaultConfig()
-		if *quiet {
-			pcfg.NoiseProb = 0
-		}
-		fs = pvfs.MustNew(m, pcfg)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown file system %q\n", *fsName)
+	fs, err := fsys.Mount(backend, m, fsys.MountOptions{
+		Quiet:     *quiet,
+		BBNodes:   bbNodes,
+		BBDrainBW: bbGbps * 1e9,
+		Drain:     *drain,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if k.Sharded() {
@@ -147,6 +162,16 @@ func main() {
 	var seg *recover.Segment
 	if *workStps > 0 && *epochs > 0 {
 		mlog = recover.NewLog(*seed, *np)
+		if di, ok := fsys.AsDrainInfo(fs); ok {
+			// Burst-buffer backend: an epoch seals only once the fleet is
+			// expected to have drained it — absorption is not durability.
+			mlog.SetCommitGate(func(t float64) float64 {
+				if h := di.DrainHorizon(); h > t {
+					return h
+				}
+				return t
+			})
+		}
 		seg = mlog.StartSegment("ckpt", 0, 0)
 	}
 	rcfg := nekcem.RunConfig{

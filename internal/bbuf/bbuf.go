@@ -20,11 +20,9 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/fabric"
 	"repro/internal/fault"
 	"repro/internal/fsys"
 	"repro/internal/machine"
-	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/xrand"
 )
@@ -62,12 +60,28 @@ type Config struct {
 	OpenBase   float64
 	CloseBase  float64
 
-	// BufferPerION is each I/O node's buffer capacity. Writes that fit are
-	// absorbed at BufferBW and drained in the background; writes that would
-	// overflow spill to the synchronous path until drains free space.
+	// BufferPerION is each fleet node's buffer capacity. Writes that fit are
+	// absorbed at BufferBW and drained in the background; writes that no
+	// node can hold spill to the synchronous path until drains free space.
 	BufferPerION int64
-	BufferBW     float64 // ION-local absorption bandwidth (memory/NVRAM speed)
-	DrainBW      float64 // background drain rate per ION toward the servers
+	BufferBW     float64 // per-node absorption bandwidth (memory/NVRAM speed)
+	DrainBW      float64 // background drain rate per node toward the servers
+
+	// FleetNodes sizes the burst-buffer fleet. Zero (and, equivalently, a
+	// size equal to the machine's pset count) is the private shape: one
+	// node per ION serving only its own pset — the pre-fleet model, pinned
+	// byte-identical by the legacy goldens. Any other size is a shared
+	// striped fleet: nodes hosted evenly across the IONs, every pset
+	// writing round-robin across them with capacity-aware placement.
+	FleetNodes int
+	// DrainPolicy names the drain scheduler from the bbuf registry
+	// ("" = fifo). FIFO is pass-through (the legacy path); "deadline" and
+	// "tenant" hold a per-node backlog an event-driven dispatcher reorders.
+	DrainPolicy string
+	// DrainTarget is the deadline-aware scheduler's residency target:
+	// each drain's deadline is its absorb completion plus this many
+	// seconds. Only the "deadline" policy reads it.
+	DrainTarget float64
 
 	// Noise: same shared-storage heavy-tail model as the other backends
 	// (drained and spilled requests hit the same shared arrays).
@@ -96,6 +110,7 @@ func DefaultConfig() Config {
 		BufferPerION:   2 << 30,
 		BufferBW:       2e9,
 		DrainBW:        250e6,
+		DrainTarget:    5,
 		NoiseProb:      0.0015,
 		NoiseAlpha:     1.9,
 		NoiseScale:     0.3,
@@ -122,16 +137,25 @@ func (c Config) Validate() error {
 	if c.BufferBW <= 0 || c.DrainBW <= 0 {
 		return fmt.Errorf("bbuf: buffer bandwidths must be positive")
 	}
+	if c.FleetNodes < 0 {
+		return fmt.Errorf("bbuf: fleet size must be non-negative (0 = one node per ION)")
+	}
+	if c.DrainTarget < 0 {
+		return fmt.Errorf("bbuf: drain target must be non-negative")
+	}
+	if _, err := Lookup(c.DrainPolicy); err != nil {
+		return err
+	}
 	return nil
 }
 
 // FileSystem is a mounted burst-buffer file system: the shared storage core
-// composed with hashed metadata, no locks, and the burst-buffer data path.
-// It implements fsys.System.
+// composed with hashed metadata, no locks, and the burst-buffer fleet data
+// path. It implements fsys.System.
 type FileSystem struct {
 	*storage.Core
 	cfg  Config
-	path *burstPath
+	path *fleet
 }
 
 var _ fsys.System = (*FileSystem)(nil)
@@ -141,7 +165,11 @@ func New(m *machine.Machine, cfg Config) (*FileSystem, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	path := &burstPath{cfg: cfg}
+	sched, err := Lookup(cfg.DrainPolicy)
+	if err != nil {
+		return nil, err
+	}
+	path := &fleet{cfg: cfg, sched: sched}
 	core, err := storage.New(m, storage.Config{
 		BlockSize:      cfg.StripeSize,
 		NumServers:     cfg.NumServers,
@@ -190,35 +218,47 @@ func init() {
 		if opt.Quiet {
 			cfg.NoiseProb = 0
 		}
+		if opt.BBNodes > 0 {
+			cfg.FleetNodes = opt.BBNodes
+		}
+		if opt.BBDrainBW > 0 {
+			cfg.DrainBW = opt.BBDrainBW
+		}
+		if opt.Drain != "" {
+			cfg.DrainPolicy = opt.Drain
+		}
 		return New(m, cfg)
 	})
 }
 
 // EnableFaults attaches the fault injector to the shared storage core and
-// subscribes the buffer tier to ION life-cycle events: a dead ION loses its
-// buffered (and in-flight-drain) bytes, its pset's writes spill to the
-// synchronous path until it restores, and drains retry/fail over against
-// the shared servers like any other commit.
+// subscribes the buffer tier to ION life-cycle events: a dead ION loses
+// every fleet node it hosts — buffered (and in-flight-drain) bytes,
+// aggregated into one loss report across the node's fleet — its pset's
+// writes spill to the synchronous path until it restores, and drains
+// retry/fail over against the shared servers like any other commit.
 func (fs *FileSystem) EnableFaults(in *fault.Injector, pol storage.FaultPolicy, rng *xrand.RNG) {
 	fs.Core.EnableFaults(in, pol, rng)
 	fs.path.init(fs.Core)
 	in.Subscribe(func(ev fault.Event) {
-		if ev.Class != fault.ION || ev.Index >= len(fs.path.dead) {
+		if ev.Class != fault.ION || ev.Index >= len(fs.path.originDead) {
 			return
 		}
 		switch ev.Kind {
 		case fault.Fail:
 			fs.path.ionDown(ev.Index, fs.Core.Kernel().Now())
 		case fault.Restore:
-			fs.path.dead[ev.Index] = false
+			fs.path.ionRestore(ev.Index)
 		}
 	})
 }
 
 // OnLost registers a callback invoked (in kernel time order) whenever
-// buffered bytes are written off as lost: an ION death taking its buffer, or
-// a background drain exhausting the storage retry budget. The recovery
-// layer uses it to invalidate epochs whose durability silently evaporated.
+// buffered bytes are written off as lost: an ION death taking the fleet
+// nodes it hosts (one aggregated report per fault event, so the recovery
+// layer's ClassifyKills sees one consistent number), or a background drain
+// exhausting the storage retry budget. The recovery layer uses it to
+// invalidate epochs whose durability silently evaporated.
 func (fs *FileSystem) OnLost(fn func(ion int, bytes int64, t float64)) {
 	fs.path.onLost = fn
 }
@@ -226,8 +266,8 @@ func (fs *FileSystem) OnLost(fn func(ion int, bytes int64, t float64)) {
 // Buffer returns the burst-buffer tier's counters.
 func (fs *FileSystem) Buffer() BufferStats { return fs.path.stats }
 
-// BufferedBytes returns the bytes currently held in ION buffers awaiting
-// drain.
+// BufferedBytes returns the bytes currently held in fleet-node buffers
+// awaiting drain.
 func (fs *FileSystem) BufferedBytes() int64 {
 	var total int64
 	for _, u := range fs.path.used {
@@ -236,187 +276,55 @@ func (fs *FileSystem) BufferedBytes() int64 {
 	return total
 }
 
-// BufferStats aggregates the burst-buffer tier's activity.
+// FleetNodes returns the resolved fleet size (NumPsets for the private
+// shape). Zero until the data path has been touched.
+func (fs *FileSystem) FleetNodes() int { return fs.path.n }
+
+// DrainPolicy returns the name of the active drain scheduler.
+func (fs *FileSystem) DrainPolicy() string { return fs.path.sched.Name() }
+
+// DrainHorizon implements fsys.DrainInfo: the time by which everything
+// absorbed so far is expected to have drained to the shared servers. The
+// async flush path reports it as drain-queue residency and the recovery
+// layer defers epoch seals to it.
+func (fs *FileSystem) DrainHorizon() float64 {
+	if fs.path.absorb == nil {
+		return fs.Core.Kernel().Now()
+	}
+	return fs.path.drainHorizon(fs.Core.Kernel().Now())
+}
+
+// SetTenantOf installs the world-rank→tenant mapping the priority-by-tenant
+// drain scheduler consults. The cluster layer calls it once admissions are
+// placed; unset means single-tenant.
+func (fs *FileSystem) SetTenantOf(fn func(rank int) int) { fs.path.tenantOf = fn }
+
+// SetTenantPriority assigns a tenant's drain priority (higher drains
+// first under the "tenant" scheduler).
+func (fs *FileSystem) SetTenantPriority(tenant, prio int) {
+	if fs.path.prio == nil {
+		fs.path.prio = map[int]int{}
+	}
+	fs.path.prio[tenant] = prio
+}
+
+// BufferStats aggregates the burst-buffer tier's activity across the fleet.
 type BufferStats struct {
-	AbsorbedBytes int64   // bytes absorbed into ION buffers
-	SpilledBytes  int64   // bytes that bypassed a full buffer synchronously
+	AbsorbedBytes int64   // bytes absorbed into fleet-node buffers
+	SpilledBytes  int64   // bytes that bypassed a full fleet synchronously
 	DrainedBytes  int64   // bytes whose background drain has completed
 	LastDrainEnd  float64 // when the last completed drain reached the servers
-	PeakUsedBytes int64   // high-water mark of any single ION's buffer
-	// LostBytes counts absorbed bytes that never became durable: buffer
-	// contents (including drains in flight) on an ION that died, plus
-	// drains that exhausted the storage retry budget. Zero without fault
+	PeakUsedBytes int64   // high-water mark of any single fleet node's buffer
+	// PeakBacklogBytes is the high-water mark of any single node's
+	// scheduler backlog (bytes enqueued behind a reordering drain policy;
+	// zero under pass-through FIFO).
+	PeakBacklogBytes int64
+	// LostBytes counts absorbed bytes that never became durable: fleet
+	// nodes (drains in flight included) on an ION that died, plus drains
+	// that exhausted the storage retry budget. Zero without fault
 	// injection.
 	LostBytes int64
-}
-
-// burstPath is the burst-buffer write-path policy. Absorption counts as
-// completion for the application (Sync and Close do not wait for drains —
-// the buffer tier is the durability boundary, as in SCR-style multi-level
-// checkpointing), so it never registers outstanding commits on the handle.
-type burstPath struct {
-	cfg    Config
-	absorb []*fabric.Pipe // per-ION absorption pipe (memory-speed)
-	drain  []*fabric.Pipe // per-ION background drain pipe
-	used   []int64        // per-ION bytes buffered, awaiting drain
-	epoch  []int          // per-ION death epoch; stale drains check it
-	dead   []bool         // per-ION down flag; writes spill while set
-	stats  BufferStats
-	onLost func(ion int, bytes int64, t float64)
-}
-
-var _ storage.DataPath = (*burstPath)(nil)
-
-func (d *burstPath) init(c *storage.Core) {
-	if d.absorb != nil {
-		return
-	}
-	n := c.Machine().NumPsets()
-	d.absorb = make([]*fabric.Pipe, n)
-	d.drain = make([]*fabric.Pipe, n)
-	d.used = make([]int64, n)
-	d.epoch = make([]int, n)
-	d.dead = make([]bool, n)
-	for i := 0; i < n; i++ {
-		d.absorb[i] = fabric.NewPipe(fmt.Sprintf("bb/ion%d", i), 0, d.cfg.BufferBW)
-		d.drain[i] = fabric.NewPipe(fmt.Sprintf("bbdrain/ion%d", i), 0, d.cfg.DrainBW)
-	}
-	if rec, layer := c.Recorder(); rec != nil {
-		for i := 0; i < n; i++ {
-			d.absorb[i].Instrument(rec, layer, "bb.absorb", i)
-			d.drain[i].Instrument(rec, layer, "bb.drain", i)
-		}
-	}
-}
-
-// ionDown loses the ION's buffer: everything absorbed but not yet drained —
-// drains in flight included — is gone, and the epoch bump voids their
-// completion callbacks so the accounting cannot double-free.
-func (d *burstPath) ionDown(i int, t float64) {
-	d.dead[i] = true
-	if d.used[i] > 0 {
-		d.stats.LostBytes += d.used[i]
-		if d.onLost != nil {
-			d.onLost(i, d.used[i], t)
-		}
-		d.used[i] = 0
-	}
-	d.epoch[i]++
-}
-
-// Commit implements storage.DataPath. A write that fits the ION's buffer is
-// absorbed at memory speed and drained in the background; one that would
-// overflow takes the synchronous stripe path (storage.StripeSync) end to
-// end, exactly like a cache-off PVFS write.
-func (d *burstPath) Commit(c *storage.Core, h *storage.Handle, rank int, streamEnd float64, off, n int64) func(*sim.Proc) error {
-	d.init(c)
-	ion := c.Machine().PsetOfRank(rank)
-	if d.dead[ion] || d.cfg.BufferPerION <= 0 || d.used[ion]+n > d.cfg.BufferPerION {
-		// Full buffer — or a dead ION under fault injection, which degrades
-		// its whole pset to the synchronous path until it restores.
-		d.stats.SpilledBytes += n
-		if rec, layer := c.Recorder(); rec != nil {
-			rec.Instant(layer, "bb.spill", ion, streamEnd)
-		}
-		return storage.StripeSync{}.Commit(c, h, rank, streamEnd, off, n)
-	}
-	d.used[ion] += n
-	if d.used[ion] > d.stats.PeakUsedBytes {
-		d.stats.PeakUsedBytes = d.used[ion]
-	}
-	d.stats.AbsorbedBytes += n
-	// The buffer ingests the stream as it delivers; the caller perceives
-	// the later of stream completion and the buffer's own serialization.
-	cfg := c.Config()
-	start := streamEnd - float64(n)/cfg.ClientStreamBW
-	if now := c.Kernel().Now(); start < now {
-		start = now
-	}
-	_, absorbEnd := d.absorb[ion].Transfer(start, n)
-	if absorbEnd < streamEnd {
-		absorbEnd = streamEnd
-	}
-	d.drainOut(c, h, ion, absorbEnd, off, n)
-	// Absorption counts as completion: drain failures are background loss,
-	// accounted in BufferStats, never surfaced to the writer.
-	return func(p *sim.Proc) error {
-		p.SleepUntil(absorbEnd)
-		return nil
-	}
-}
-
-// drainOut schedules the background drain of an absorbed write: the ION's
-// drain pacing, the Ethernet hop, then revolution-grouped striped server
-// commits — the same shared-array charging as a foreground commit, just
-// decoupled from the application. Buffer space frees when the drain lands.
-func (d *burstPath) drainOut(c *storage.Core, h *storage.Handle, ion int, ready float64, off, n int64) {
-	cfg := c.Config()
-	m := c.Machine()
-	f := h.File()
-	drainStart, _ := d.drain[ion].Transfer(ready, n)
-	spikeP := c.SpikeProb()
-	ss := cfg.BlockSize
-	servers := c.Servers()
-	revolution := ss * int64(len(servers))
-	end := ready
-	var cum, lost int64
-	for lo := off; lo < off+n; {
-		hi := off + n
-		if r := (lo/revolution + 1) * revolution; r < hi {
-			hi = r
-		}
-		span := hi - lo
-		cum += span
-		deliver := drainStart + float64(cum)/d.cfg.DrainBW
-		srv, fdelay, ferr := c.PlanServer(f, lo/ss, deliver)
-		if ferr != nil {
-			// The retry budget exhausted against the shared servers: the
-			// rest of this drain cannot land and its bytes are lost.
-			lost = off + n - lo
-			if deliver+fdelay > end {
-				end = deliver + fdelay
-			}
-			break
-		}
-		ethEnd := m.Eth.Transfer(deliver+fdelay, ion, span)
-		perServer := span / int64(len(servers))
-		if perServer == 0 {
-			perServer = span
-		}
-		_, e := srv.Pipe().Transfer(ethEnd, perServer)
-		e += c.DrawSpike(srv, spikeP)
-		if e > end {
-			end = e
-		}
-		lo = hi
-	}
-	c.ScheduleDrain(end)
-	done := end
-	ep := 0
-	if d.epoch != nil {
-		ep = d.epoch[ion]
-	}
-	c.Kernel().At(done, func() {
-		if d.epoch[ion] != ep {
-			// The ION died while this drain was in flight; ionDown already
-			// wrote the whole buffer off as lost.
-			return
-		}
-		d.used[ion] -= n
-		d.stats.DrainedBytes += n - lost
-		d.stats.LostBytes += lost
-		if lost > 0 && d.onLost != nil {
-			d.onLost(ion, lost, done)
-		}
-		if done > d.stats.LastDrainEnd {
-			d.stats.LastDrainEnd = done
-		}
-	})
-}
-
-// Read implements storage.DataPath: restarts read from the shared servers
-// (drains have long since landed by restart time), over the standard
-// striped return path.
-func (d *burstPath) Read(p *sim.Proc, c *storage.Core, h *storage.Handle, rank int, off, n int64) error {
-	return c.ChargeStripedRead(p, h.File(), rank, off, n)
+	// LossEvents counts the loss reports behind LostBytes — one per fault
+	// event, aggregated across the fleet nodes it took down.
+	LossEvents int
 }

@@ -133,6 +133,7 @@ type asyncFlight struct {
 	arrived    int
 	done       *sim.Signal
 	durable    float64 // when the flush landed on storage (0 if lost)
+	queueSec   float64 // drain-queue residency past durable (bbuf fleets)
 	err        error   // non-fault flush failure, surfaced by WaitDurable
 }
 
@@ -298,6 +299,14 @@ func (pl *asyncPlan) flush(env *Env, fp *sim.Proc, fl *asyncFlight) {
 		}
 	} else {
 		fl.durable = now
+		if di, ok := fsys.AsDrainInfo(env.FS); ok {
+			// The storage acknowledged the commit, but on a burst-buffer
+			// backend the bytes may still sit in fleet buffers: report how
+			// far past the durable point the fleet's drain horizon reaches.
+			if h := di.DrainHorizon(); h > now {
+				fl.queueSec = h - now
+			}
+		}
 	}
 	for i, w := range ps.world {
 		if fl.lost[i] != "" {
@@ -361,11 +370,12 @@ func (pl *asyncPlan) drainOldest(r *mpi.Rank) error {
 		return fl.err
 	}
 	fs := FlushStats{
-		Step:    fl.step,
-		Bytes:   fl.chunkBytes[pl.idx] * int64(len(fl.fields)),
-		SnapEnd: fl.snapEnd[pl.idx],
-		Durable: fl.durable,
-		Lost:    fl.lost[pl.idx] != "",
+		Step:     fl.step,
+		Bytes:    fl.chunkBytes[pl.idx] * int64(len(fl.fields)),
+		SnapEnd:  fl.snapEnd[pl.idx],
+		Durable:  fl.durable,
+		QueueSec: fl.queueSec,
+		Lost:     fl.lost[pl.idx] != "",
 	}
 	if fs.Lost {
 		fs.Durable = 0

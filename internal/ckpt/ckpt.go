@@ -222,6 +222,13 @@ type FlushStats struct {
 	Bytes   int64   // this rank's bytes the flush made durable
 	SnapEnd float64 // when the rank's blocking snapshot phase ended
 	Durable float64 // when the flush landed on storage (0 if lost)
+	// QueueSec is the drain-queue residency behind the durable point: when
+	// the flush lands on a backend with a background drain tier (the
+	// burst-buffer fleet), the commit that storage acknowledged may still
+	// sit in fleet buffers awaiting drain, and QueueSec is how far past
+	// Durable the fleet's drain horizon extended at that moment. Zero on
+	// backends without a drain tier.
+	QueueSec float64
 	// Lost reports the snapshot never became durable: the rank's node died
 	// holding it, or the storage refused the aggregated commit.
 	Lost bool

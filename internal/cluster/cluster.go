@@ -56,6 +56,11 @@ type Tenant struct {
 	Placement     string
 	PlacementSeed uint64
 
+	// DrainPriority ranks this tenant's burst-buffer drains when the shared
+	// fleet runs the "tenant" scheduler (higher drains first; ties break by
+	// submission order). Ignored on non-bbuf backends and other policies.
+	DrainPriority int
+
 	// Epochs, when set, receives the tenant's two-phase epoch commit
 	// records (pure bookkeeping — recording never charges simulated time).
 	Epochs ckpt.EpochSink

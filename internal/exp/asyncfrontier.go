@@ -205,6 +205,16 @@ func runFrontierCell(o Options, np int, name string, spec *FaultSpec) (*frontier
 	}
 	w := mpi.NewWorld(m, mpi.DefaultConfig())
 	mlog := recover.NewLog(o.seed(), np)
+	if di, ok := fsys.AsDrainInfo(fs); ok {
+		// Burst-buffer backend: epoch seals defer to the fleet's drain
+		// horizon (absorption is not durability).
+		mlog.SetCommitGate(func(t float64) float64 {
+			if h := di.DrainHorizon(); h > t {
+				return h
+			}
+			return t
+		})
+	}
 	seg := mlog.StartSegment("ckpt", 0, 0)
 	rcfg := nekcem.RunConfig{
 		Mesh:            nekcem.PaperMesh(np),

@@ -1,0 +1,257 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/machine"
+)
+
+// BBSizeRow is one fleet configuration's rbIO (or async) checkpoint step:
+// how the app perceived it, when the bytes actually became durable, and
+// what the fleet did to get there. Sweeping the fleet size exposes the
+// crossover the shared-fleet refactor exists to measure: an undersized
+// fleet saturates its absorb/drain pipes and spills to the synchronous
+// path — the step degrades toward the sync backends — while an adequately
+// sized fleet keeps the whole commit behind the application.
+type BBSizeRow struct {
+	Strategy string
+	Ratio    int    // compute nodes per ION (the pset ratio)
+	Psets    int    // IONs at this ratio
+	Fleet    int    // fleet nodes (== Psets is the private legacy shape); 0 = sync reference
+	Drain    string // drain-scheduler policy ("sync" for the reference row)
+
+	WriterSec    float64 // slowest writer's blocking time
+	StepSec      float64 // checkpoint step as the application perceives it
+	DurableSec   float64 // snapshot start to the last durable byte
+	DrainTailSec float64 // storage still landing data after the app unblocked
+	QueueSec     float64 // worst drain-queue residency past the flush (async arms)
+	SpillBytes   int64   // bytes that bypassed a full fleet synchronously
+	PeakBacklog  int64   // high-water scheduler backlog on any single node
+	DurableGBps  float64 // bytes over the time to the last durable byte
+}
+
+// BBFaultRow is one faulted fleet configuration: the same step under an
+// accelerated MTBF, with the fleet's loss accounting. A shared fleet
+// concentrates more tenants' bytes per node, so a single ION death takes a
+// bigger (but correctly aggregated — one loss event per kill) bite.
+type BBFaultRow struct {
+	Fleet      int
+	Drain      string
+	Fails      int   // fault events that fired
+	LostBytes  int64 // absorbed bytes that never became durable
+	LossEvents int   // aggregated loss reports behind LostBytes
+	SpillBytes int64
+	Lost       bool // the trial lost checkpoint state outright
+}
+
+// BBSizeResult is the bbsize experiment's output.
+type BBSizeResult struct {
+	NP      int
+	Rows    []BBSizeRow
+	Faulted []BBFaultRow
+}
+
+// bbFleetSizes is the sweep's fleet-size ladder at a pset count: a single
+// shared node (maximal striping pressure), quarter and half fleets, and
+// the full private shape.
+func bbFleetSizes(psets int) []int {
+	var out []int
+	for _, s := range []int{1, psets / 4, psets / 2, psets} {
+		if s < 1 {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1] == s {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// bbDrains returns the sweep's drain policies, collapsed to the options'
+// -drain pin when the user set one.
+func bbDrains(o Options) []string {
+	if o.Drain != "" {
+		return []string{o.Drain}
+	}
+	return []string{"fifo", "deadline"}
+}
+
+// BBSize sweeps the burst-buffer fleet across size x drain policy x pset
+// ratio with rbIO (plus an async arm at the default ratio, whose flush
+// carries the drain-queue residency), anchored by a pvfs synchronous
+// reference row per ratio, then reruns the extreme fleet shapes under an
+// accelerated MTBF to show what a shared fleet loses when an ION dies.
+// Every cell is an independent simulation dispatched through RunSet, so
+// rows are identical at any -parallel setting.
+func BBSize(o Options, np int, mtbfHours float64) (*BBSizeResult, error) {
+	d, err := machine.Lookup(o.Machine)
+	if err != nil {
+		return nil, err
+	}
+	geo := d.Config(np)
+	nodes := np / geo.RanksPerNode
+	ratios := []int{geo.NodesPerPset / 2, geo.NodesPerPset}
+	drains := bbDrains(o)
+
+	var jobs []Job
+	var meta []BBSizeRow // row skeleton per job, filled from the run
+	add := func(row BBSizeRow, j Job) {
+		meta = append(meta, row)
+		jobs = append(jobs, j)
+	}
+	for _, ratio := range ratios {
+		if ratio < 1 || nodes%ratio != 0 {
+			continue
+		}
+		psets := nodes / ratio
+		strategies := []string{"rbio"}
+		if ratio == geo.NodesPerPset {
+			strategies = append(strategies, "async")
+		}
+		for _, sname := range strategies {
+			for _, size := range bbFleetSizes(psets) {
+				for _, drain := range drains {
+					add(BBSizeRow{Strategy: sname, Ratio: ratio, Psets: psets, Fleet: size, Drain: drain},
+						Job{NP: np, Strategy: ckpt.MustNew(sname, np), FS: "bbuf",
+							NodesPerPset: ratio, BBNodes: size, BBDrain: drain})
+				}
+			}
+		}
+		// Synchronous reference: the same step with no buffer tier at all.
+		add(BBSizeRow{Strategy: "rbio", Ratio: ratio, Psets: psets, Fleet: 0, Drain: "sync"},
+			Job{NP: np, Strategy: ckpt.MustNew("rbio", np), FS: "pvfs", NodesPerPset: ratio})
+	}
+
+	runs, err := RunSet(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	res := &BBSizeResult{NP: np}
+	for i, r := range runs {
+		row := meta[i]
+		a := r.Agg
+		durable := a.MaxDurable
+		if r.Buffer != nil {
+			if r.Buffer.LastDrainEnd > durable {
+				durable = r.Buffer.LastDrainEnd
+			}
+			row.SpillBytes = r.Buffer.SpilledBytes
+			row.PeakBacklog = r.Buffer.PeakBacklogBytes
+		}
+		row.WriterSec = a.MaxWriter
+		row.StepSec = a.StepTime()
+		row.DurableSec = durable - a.Start
+		if tail := durable - a.MaxEnd; tail > 0 {
+			row.DrainTailSec = tail
+		}
+		row.QueueSec = a.MaxQueue
+		if span := durable - a.Start; span > 0 {
+			row.DurableGBps = GB(float64(a.Bytes) / span)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// Faulted arm: the extreme fleet shapes at the default ratio, each under
+	// an accelerated MTBF (one 8x rung below the headline value, the fault
+	// sweep's middle rung) with its own derived schedule seed.
+	psets := nodes / geo.NodesPerPset
+	fsizes := []int{1, psets}
+	if psets == 1 {
+		fsizes = fsizes[:1]
+	}
+	var fjobs []Job
+	var fmeta []BBFaultRow
+	for _, size := range fsizes {
+		for _, drain := range drains {
+			seed := o.seed()
+			seed ^= uint64(size+1) * 0xbf58476d1ce4e5b9
+			seed ^= uint64(len(fmeta)+1) * 0x94d049bb133111eb
+			fmeta = append(fmeta, BBFaultRow{Fleet: size, Drain: drain})
+			fjobs = append(fjobs, Job{
+				NP: np, Strategy: ckpt.MustNew("rbio", np), FS: "bbuf",
+				BBNodes: size, BBDrain: drain,
+				Faults: &FaultSpec{MTBF: mtbfHours * 3600 / 8, MTTR: 60, Shape: 1.2, Seed: seed},
+			})
+		}
+	}
+	fruns, err := RunSet(o, fjobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range fruns {
+		row := fmeta[i]
+		if r.Fault != nil {
+			row.Fails = r.Fault.Counts.Fails
+			row.LostBytes = r.Fault.LostBufferBytes
+			row.Lost = r.Fault.Lost
+		}
+		if r.Buffer != nil {
+			row.LossEvents = r.Buffer.LossEvents
+			row.SpillBytes = r.Buffer.SpilledBytes
+		}
+		res.Faulted = append(res.Faulted, row)
+	}
+	return res, nil
+}
+
+// Table renders the fault-free sweep.
+func (r *BBSizeResult) Table() string {
+	out := [][]string{}
+	for _, row := range r.Rows {
+		fleet := fmt.Sprint(row.Fleet)
+		if row.Fleet == 0 {
+			fleet = "-"
+		}
+		out = append(out, []string{
+			row.Strategy, fmt.Sprint(row.Ratio), fmt.Sprint(row.Psets), fleet, row.Drain,
+			fmt.Sprintf("%.2f", row.WriterSec),
+			fmt.Sprintf("%.2f", row.StepSec),
+			fmt.Sprintf("%.2f", row.DurableSec),
+			fmt.Sprintf("%.2f", row.DrainTailSec),
+			fmt.Sprintf("%.2f", row.QueueSec),
+			fmt.Sprint(row.SpillBytes),
+			fmt.Sprint(row.PeakBacklog),
+			fmt.Sprintf("%.2f", row.DurableGBps),
+		})
+	}
+	return FormatTable([]string{
+		"strategy", "ratio", "psets", "fleet", "drain",
+		"writer (s)", "step (s)", "durable (s)", "tail (s)", "queue (s)",
+		"spill (B)", "backlog peak (B)", "durable GB/s",
+	}, out)
+}
+
+// FaultTable renders the faulted arm.
+func (r *BBSizeResult) FaultTable() string {
+	out := [][]string{}
+	for _, row := range r.Faulted {
+		out = append(out, []string{
+			fmt.Sprint(row.Fleet), row.Drain,
+			fmt.Sprint(row.Fails),
+			fmt.Sprint(row.LostBytes),
+			fmt.Sprint(row.LossEvents),
+			fmt.Sprint(row.SpillBytes),
+			fmt.Sprint(row.Lost),
+		})
+	}
+	return FormatTable([]string{"fleet", "drain", "fails", "lost (B)", "loss events", "spill (B)", "lost ckpt"}, out)
+}
+
+func init() {
+	Register(Descriptor{
+		Name:  "bbsize",
+		Doc:   "burst-buffer fleet sizing: fleet nodes x drain policy x pset ratio",
+		Flags: "-bb, -drain, -mtbf, -np",
+		Run: func(s *Session) error {
+			r, err := BBSize(s.Opts, s.NPOr(2048), s.mtbf())
+			if err != nil {
+				return err
+			}
+			s.printf("== Extension: burst-buffer fleet sizing ==\n%s\n", r.Table())
+			s.printf("== bbsize: faulted arm (accelerated MTBF) ==\n%s\n", r.FaultTable())
+			return nil
+		},
+	})
+}

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"repro/internal/bbuf"
 	"repro/internal/ckpt"
 	"repro/internal/cluster"
 	"repro/internal/fault"
@@ -150,7 +151,30 @@ func (cs *clusterSession) launch(tenants []cluster.Tenant) ([]*cluster.Job, erro
 		return nil, err
 	}
 	cs.Rec.SetTenants(cluster.TenantRanges(jobs))
+	cs.wireDrainTenants(jobs)
 	return jobs, nil
+}
+
+// wireDrainTenants hands the admitted rank windows and per-tenant drain
+// priorities to a burst-buffer backend, so the fleet's "tenant" scheduler
+// can rank backlogged drains by owner. A no-op on every other backend.
+func (cs *clusterSession) wireDrainTenants(jobs []*cluster.Job) {
+	b, ok := cs.FS.(*bbuf.FileSystem)
+	if !ok {
+		return
+	}
+	ranges := cluster.TenantRanges(jobs)
+	b.SetTenantOf(func(rank int) int {
+		for i, r := range ranges {
+			if rank >= r.RankLo && rank < r.RankHi {
+				return i
+			}
+		}
+		return 0
+	})
+	for i, j := range jobs {
+		b.SetTenantPriority(i, j.Tenant.DrainPriority)
+	}
 }
 
 // run drives the kernel to completion and finalizes the jobs.
@@ -208,14 +232,17 @@ func RunCluster(o Options, tenants []cluster.Tenant, queued bool) (*ClusterRun, 
 	}, nil
 }
 
-// stormTenants builds nt identical tenants of np ranks each.
+// stormTenants builds nt identical tenants of np ranks each. Drain
+// priorities descend with the index (t0 highest), so a bbuf-backed storm
+// under -drain tenant has a strict drain order to exercise.
 func stormTenants(np, nt int, strat ckpt.Strategy) []cluster.Tenant {
 	ts := make([]cluster.Tenant, nt)
 	for i := range ts {
 		ts[i] = cluster.Tenant{
-			Name:     fmt.Sprintf("t%d", i),
-			NP:       np,
-			Strategy: strat,
+			Name:          fmt.Sprintf("t%d", i),
+			NP:            np,
+			Strategy:      strat,
+			DrainPriority: nt - i,
 		}
 	}
 	return ts

@@ -81,6 +81,18 @@ type Options struct {
 	// full five-arm comparison. Experiments with fixed strategy casts (the
 	// ablations, the fault and recovery studies) ignore it.
 	Ckpt string
+	// BBNodes sizes the burst-buffer fleet for bbuf-backed runs (the -bb
+	// flag): 0 keeps the legacy one-private-node-per-ION shape; any other
+	// count mounts a shared striped fleet of that many nodes. Backends
+	// without a buffer tier ignore it.
+	BBNodes int
+	// BBDrainBW overrides the per-fleet-node drain bandwidth in bytes/s
+	// (0 = the backend default, 250 MB/s).
+	BBDrainBW float64
+	// Drain names the burst-buffer drain-scheduler policy from the bbuf
+	// registry ("" = fifo; the -drain flag). CLIs validate it before
+	// building Options.
+	Drain string
 }
 
 // PaperNPs are the paper's weak-scaling processor counts.
@@ -144,6 +156,12 @@ func runCheckpoint(o Options, j Job) (*Run, error) {
 	backend := j.FS
 	if backend == "" {
 		backend = o.FS
+	}
+	if j.BBNodes > 0 {
+		o.BBNodes = j.BBNodes
+	}
+	if j.BBDrain != "" {
+		o.Drain = j.BBDrain
 	}
 	k := sim.NewKernel()
 	var rec *trace.Recorder

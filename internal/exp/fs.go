@@ -30,7 +30,12 @@ func KnownFS(name string) bool {
 // with its default configuration, applying the Quiet ablation, and returns
 // it along with a pointer to its live storage-core counters.
 func buildFS(o Options, m *machine.Machine, b fsys.Backend) (fsys.System, *storage.Stats, error) {
-	fs, err := fsys.Mount(b, m, fsys.MountOptions{Quiet: o.Quiet})
+	fs, err := fsys.Mount(b, m, fsys.MountOptions{
+		Quiet:     o.Quiet,
+		BBNodes:   o.BBNodes,
+		BBDrainBW: o.BBDrainBW,
+		Drain:     o.Drain,
+	})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -85,3 +85,18 @@ func Manifests() Option { return func(o *Options) { o.Manifests = true } }
 // full five-arm sweep). The name must resolve through ckpt.Lookup; CLIs
 // validate it before building Options.
 func Ckpt(name string) Option { return func(o *Options) { o.Ckpt = name } }
+
+// BB configures the burst-buffer fleet for bbuf-backed runs: nodes sizes
+// the fleet (0 = one private node per ION, the legacy shape) and gbps is
+// the per-node drain bandwidth in GB/s (0 = the backend default).
+func BB(nodes int, gbps float64) Option {
+	return func(o *Options) {
+		o.BBNodes = nodes
+		o.BBDrainBW = gbps * 1e9
+	}
+}
+
+// Drain selects the burst-buffer drain-scheduler policy ("" = fifo). The
+// name must resolve through bbuf.Lookup; CLIs validate it before building
+// Options.
+func Drain(name string) Option { return func(o *Options) { o.Drain = name } }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ckpt"
 	"repro/internal/fault"
+	"repro/internal/fsys"
 	"repro/internal/mpi"
 	"repro/internal/nekcem"
 	"repro/internal/recover"
@@ -108,7 +109,20 @@ func runRecoveryCell(o Options, np int, strat ckpt.Strategy, segCkpts, work, ce 
 	}); ok {
 		// Burst-buffer tiers report unflushed-epoch loss into the manifest
 		// log: epochs sealed but not yet verified at loss time are torn.
+		// The fleet aggregates a fault event's loss across its nodes, so
+		// ClassifyKills sees one consistent number per event.
 		b.OnLost(func(_ int, bytes int64, t float64) { log.BufferLoss(bytes, t) })
+	}
+	if di, ok := fsys.AsDrainInfo(fs); ok {
+		// Epoch seals defer to the fleet's drain horizon: absorption is not
+		// durability, so a commit only counts once its bytes are expected
+		// off the staging tier.
+		log.SetCommitGate(func(t float64) float64 {
+			if h := di.DrainHorizon(); h > t {
+				return h
+			}
+			return t
+		})
 	}
 	base := nekcem.RunConfig{
 		Mesh: nekcem.PaperMesh(np), Strategy: strat, Synthetic: true,

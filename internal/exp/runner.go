@@ -23,6 +23,11 @@ type Job struct {
 	// NodesPerPset, when positive, overrides the preset's compute:ION ratio
 	// (the psetratio experiment's sweep variable).
 	NodesPerPset int
+	// BBNodes and BBDrain override the burst-buffer fleet size and drain
+	// policy for this job only (the bbsize experiment's sweep variables);
+	// zero values defer to Options.
+	BBNodes int
+	BBDrain string
 	// Faults, when set, arms a fault injector on the job's kernel before the
 	// world spawns. The job then reports a FaultOutcome in its Run; storage
 	// unavailability becomes a lost-checkpoint outcome instead of an error.

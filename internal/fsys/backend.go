@@ -22,6 +22,19 @@ type MountOptions struct {
 	// Quiet disables the shared-storage noise model (NoiseProb = 0), for
 	// deterministic unit-style runs.
 	Quiet bool
+
+	// Burst-buffer fleet knobs (the -bb and -drain flags); backends without
+	// a buffer tier ignore them.
+
+	// BBNodes sizes the burst-buffer fleet (0 = one private node per ION,
+	// the legacy shape).
+	BBNodes int
+	// BBDrainBW overrides the per-node background drain bandwidth in
+	// bytes/s (0 = the backend's default).
+	BBDrainBW float64
+	// Drain names the drain-scheduler policy from the bbuf registry
+	// ("" = fifo).
+	Drain string
 }
 
 // MountFunc mounts a backend's file system model on a machine.

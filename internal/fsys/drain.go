@@ -1,0 +1,35 @@
+package fsys
+
+// DrainInfo is the optional interface of backends with a background drain
+// tier (the burst-buffer fleet): DrainHorizon reports the simulated time by
+// which everything absorbed so far is expected to have reached durable
+// storage. The async flush path reads it to report drain-queue residency,
+// and the recovery layer defers epoch seals to it. Reading it charges no
+// simulated time and draws no random numbers.
+type DrainInfo interface {
+	DrainHorizon() float64
+}
+
+// Unwrapper is implemented by decorators (fsys.Guard) that wrap another
+// System.
+type Unwrapper interface {
+	Unwrap() System
+}
+
+// AsDrainInfo reports the DrainInfo behind fs, unwrapping decorators such
+// as fsys.Guard. The horizon read is introspection (state whose writes are
+// all exclusive-lane), so bypassing the guard's shared-section bracketing
+// is safe for the same reason Exists and FileSize pass through it.
+func AsDrainInfo(fs System) (DrainInfo, bool) {
+	for fs != nil {
+		if d, ok := fs.(DrainInfo); ok {
+			return d, true
+		}
+		u, ok := fs.(Unwrapper)
+		if !ok {
+			return nil, false
+		}
+		fs = u.Unwrap()
+	}
+	return nil, false
+}

@@ -23,6 +23,10 @@ type guardedSystem struct {
 	fs System
 }
 
+// Unwrap exposes the guarded system for optional-interface discovery
+// (fsys.AsDrainInfo); time-charging calls must still go through the guard.
+func (g *guardedSystem) Unwrap() System { return g.fs }
+
 func (g *guardedSystem) Name() string              { return g.fs.Name() }
 func (g *guardedSystem) Machine() *machine.Machine { return g.fs.Machine() }
 func (g *guardedSystem) BlockSize() int64          { return g.fs.BlockSize() }

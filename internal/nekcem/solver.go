@@ -117,6 +117,11 @@ type CkptAgg struct {
 	AsyncRanks  int
 	MaxFlush    float64
 	LostFlushes int
+	// MaxQueue is the worst drain-queue residency any flush reported: how
+	// far past its storage-acknowledged durable point the burst-buffer
+	// fleet's drain horizon reached (zero on backends without a drain
+	// tier).
+	MaxQueue float64
 
 	// MaxBlocked is the longest any single rank was stalled inside Write
 	// (its End - Start). Unlike the MaxEnd - Start envelope, it does not
@@ -431,6 +436,9 @@ func mergeFlush(agg *CkptAgg, f ckpt.FlushStats) {
 	}
 	if fs := f.FlushSec(); fs > agg.MaxFlush {
 		agg.MaxFlush = fs
+	}
+	if f.QueueSec > agg.MaxQueue {
+		agg.MaxQueue = f.QueueSec
 	}
 }
 

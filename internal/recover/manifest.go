@@ -112,6 +112,10 @@ type Log struct {
 	// LostBufferBytes totals burst-buffer bytes reported via BufferLoss.
 	lostBufferBytes int64
 	invalidated     int
+
+	// gate, when set, maps a strategy-reported commit time to the durable
+	// commit time (SetCommitGate).
+	gate func(t float64) float64
 }
 
 type epochKey struct {
@@ -192,20 +196,29 @@ func (s *Segment) EpochBlock(rec ckpt.BlockRecord) {
 	}
 }
 
-// EpochCommit implements ckpt.EpochSink (phase 2).
+// EpochCommit implements ckpt.EpochSink (phase 2). A commit gate, when
+// installed, raises the recorded time to the durable point — on a
+// burst-buffer backend the strategy's Sync returns at absorption, and the
+// epoch must not count as sealed until the fleet has drained it.
 func (s *Segment) EpochCommit(rec ckpt.CommitRecord) {
 	s.l.mu.Lock()
 	defer s.l.mu.Unlock()
 	if s.closed {
 		return
 	}
-	e := s.epoch(rec.Level, rec.Step)
-	e.committed[rec.Rank] = rec.Time
-	if rec.Time > e.SealedAt {
-		e.SealedAt = rec.Time
+	t := rec.Time
+	if s.l.gate != nil {
+		if g := s.l.gate(t); g > t {
+			t = g
+		}
 	}
-	if rec.Time > e.LastAt {
-		e.LastAt = rec.Time
+	e := s.epoch(rec.Level, rec.Step)
+	e.committed[rec.Rank] = t
+	if t > e.SealedAt {
+		e.SealedAt = t
+	}
+	if t > e.LastAt {
+		e.LastAt = t
 	}
 }
 
@@ -254,11 +267,31 @@ func (l *Log) BufferLoss(bytes int64, t float64) {
 		if e.Level != ckpt.LevelGlobal || e.verified || e.invalid != "" {
 			continue
 		}
-		if len(e.committed) > 0 && e.SealedAt <= t {
+		// Sealed before the loss: its bytes may have sat in the lost
+		// buffer. Also torn conservatively: an epoch still in flight whose
+		// writes started before the loss — with drain-deferred seals
+		// (SetCommitGate) a fully-written epoch's seal can postdate the
+		// loss precisely because its bytes were still in the fleet, which
+		// is exactly the data the loss took.
+		sealedBefore := len(e.committed) > 0 && e.SealedAt <= t
+		inFlight := !e.Sealed() && e.FirstBlockAt >= 0 && e.FirstBlockAt <= t
+		if sealedBefore || inFlight {
 			e.invalid = fmt.Sprintf("burst-buffer loss at t=%.3f", t)
 			l.invalidated++
 		}
 	}
+}
+
+// SetCommitGate installs a durability gate on epoch commits: every
+// EpochCommit's reported time is raised to gate(t) before it counts toward
+// the epoch's seal. Burst-buffer backends supply their drain horizon here,
+// so an epoch seals only once the fleet is expected to have drained it —
+// the staging tier stops silently counting as durable storage. The gate
+// must be pure bookkeeping: no simulated-time charge, no RNG draws.
+func (l *Log) SetCommitGate(gate func(t float64) float64) {
+	l.mu.Lock()
+	l.gate = gate
+	l.mu.Unlock()
 }
 
 // LostBufferBytes returns the total burst-buffer bytes reported lost.
